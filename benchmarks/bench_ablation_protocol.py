@@ -1,0 +1,63 @@
+"""Sec. VIII-C: effect of the three protocol optimizations.
+
+Paper reference: on the CPU, Goldilocks64 gives 1.7x and Reed-Solomon a
+further 1.2x (2.1x combined); sumcheck-input recomputation improves
+NoCap by 1.1x (cutting sumcheck traffic 31%) but *hurts* the CPU by 1%,
+which is why the CPU version leaves it off.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.baselines.cpu import CpuModel
+from repro.nocap import NoCapSimulator
+
+N = 16_000_000
+
+
+def _ablations():
+    base = CpuModel().prover_seconds(N)
+    rows = [
+        ("CPU, all optimizations (baseline)", base, 1.0),
+        ("CPU, 256-bit field instead of Goldilocks64",
+         CpuModel(use_goldilocks=False).prover_seconds(N),
+         CpuModel(use_goldilocks=False).prover_seconds(N) / base),
+        ("CPU, expander code instead of Reed-Solomon",
+         CpuModel(use_reed_solomon=False).prover_seconds(N),
+         CpuModel(use_reed_solomon=False).prover_seconds(N) / base),
+        ("CPU, original codebases (both off)",
+         CpuModel(use_goldilocks=False, use_reed_solomon=False)
+         .prover_seconds(N),
+         CpuModel(use_goldilocks=False, use_reed_solomon=False)
+         .prover_seconds(N) / base),
+        ("CPU, with sumcheck recomputation",
+         CpuModel(use_recompute=True).prover_seconds(N),
+         CpuModel(use_recompute=True).prover_seconds(N) / base),
+    ]
+    sim = NoCapSimulator()
+    on = sim.simulate(1 << 24)
+    off = sim.simulate(1 << 24, recompute=False)
+    rows.append(("NoCap, with recomputation (baseline)", on.total_seconds, 1.0))
+    rows.append(("NoCap, without recomputation", off.total_seconds,
+                 off.total_seconds / on.total_seconds))
+    traffic_cut = 1 - (on.traffic_by_family["sumcheck"]
+                       / off.traffic_by_family["sumcheck"])
+    return rows, traffic_cut
+
+
+def test_protocol_ablations(benchmark):
+    rows, traffic_cut = benchmark(_ablations)
+    table = format_table(
+        ["Configuration", "Prover (s)", "Slowdown vs baseline"],
+        rows, "Sec. VIII-C: protocol optimization ablations (16M constraints)")
+    table += (f"\nsumcheck traffic cut by recomputation: {traffic_cut:.0%} "
+              "(paper 31%)")
+    emit("ablation_protocol", table)
+
+    by_label = {r[0]: r[2] for r in rows}
+    assert abs(by_label["CPU, 256-bit field instead of Goldilocks64"] - 1.7) < 0.05
+    assert abs(by_label["CPU, expander code instead of Reed-Solomon"] - 1.2) < 0.05
+    assert abs(by_label["CPU, original codebases (both off)"] - 2.04) < 0.1
+    assert abs(by_label["CPU, with sumcheck recomputation"] - 1.01) < 0.005
+    assert abs(by_label["NoCap, without recomputation"] - 1.10) < 0.05
+    assert abs(traffic_cut - 0.31) < 0.05

@@ -1,0 +1,52 @@
+"""Fig. 5: NoCap power breakdown for a 16M-constraint statement.
+
+Paper reference: 62 W total; 13% functional units, 44% register file,
+42% HBM.  The breakdown is essentially identical across benchmarks
+(Sec. VIII-B), which the series below shows.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import ascii_bar_chart
+from repro.analysis.tables import format_table
+from repro.nocap import NoCapSimulator, power_model
+
+
+def _reference_power():
+    report = NoCapSimulator().simulate(1 << 24)
+    return power_model(report)
+
+
+def test_fig5(benchmark):
+    power = benchmark(_reference_power)
+    frac = power.fractions()
+    table = format_table(
+        ["Component", "Watts", "Share", "Paper share"],
+        [("Functional units", power.fu_watts, f"{frac['FUs']:.0%}", "13%"),
+         ("Register file", power.rf_watts, f"{frac['Register file']:.0%}", "44%"),
+         ("HBM", power.hbm_watts, f"{frac['HBM']:.0%}", "42%"),
+         ("Other", power.other_watts, f"{frac['Other']:.0%}", "~1%"),
+         ("Total", power.total_watts, "100%", "62 W")],
+        "Fig. 5: power breakdown, 16M-constraint statement")
+
+    # Stability across benchmark sizes (Sec. VIII-B).
+    sim = NoCapSimulator()
+    series = []
+    for log_n in (24, 25, 27, 28, 30):
+        p = power_model(sim.simulate(1 << log_n))
+        series.append((f"2^{log_n}", p.total_watts, f"{p.fractions()['HBM']:.0%}"))
+    table += "\n\n" + format_table(
+        ["Statement size", "Total W", "HBM share"],
+        series, "power across benchmark sizes (essentially constant):")
+    table += "\n\n" + ascii_bar_chart(
+        {"FUs": power.fu_watts, "Register file": power.rf_watts,
+         "HBM": power.hbm_watts, "Other": power.other_watts},
+        title="Fig. 5 (watts):", unit=" W")
+    emit("fig5_power", table)
+
+    assert abs(power.total_watts - 62.0) < 2.0
+    assert abs(frac["FUs"] - 0.13) < 0.02
+    assert abs(frac["Register file"] - 0.44) < 0.02
+    assert abs(frac["HBM"] - 0.42) < 0.02
+    watts = [w for _, w, _ in series]
+    assert max(watts) / min(watts) < 1.1

@@ -1,0 +1,49 @@
+"""Fig. 7: parameter sensitivity — sweep the throughput of each hardware
+building block individually and report relative gmean performance.
+
+Paper reference (qualitative): performance is most sensitive to raw
+arithmetic throughput; other FUs matter up to the chosen parameters;
+growing the register file is negligible but shrinking it is drastic;
+the chosen design point is balanced (small upside, sharp downside).
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import ascii_line_chart
+from repro.analysis.tables import format_table
+from repro.nocap import sensitivity_sweep
+
+FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+RESOURCES = ("arith", "hash", "ntt", "hbm", "rf")
+
+
+def _sweep():
+    return sensitivity_sweep(factors=FACTORS, resources=RESOURCES)
+
+
+def test_fig7(benchmark):
+    points = benchmark(_sweep)
+    perf = {}
+    for p in points:
+        perf.setdefault(p.resource, {})[p.factor] = p.relative_performance
+    table = format_table(
+        ["Resource"] + [f"x{f}" for f in FACTORS],
+        [(res,) + tuple(perf[res][f] for f in FACTORS) for res in RESOURCES],
+        "Fig. 7: relative gmean performance when scaling one resource")
+    chart = ascii_line_chart(
+        {res: [(f, perf[res][f]) for f in FACTORS] for res in RESOURCES},
+        title="\nFig. 7 (relative performance vs scale factor, log x):",
+        log_x=True)
+    emit("fig7_sensitivity", table + "\n" + chart)
+
+    # Shape assertions mirroring the paper's observations.
+    down = {r: perf[r][0.25] for r in RESOURCES}
+    up = {r: perf[r][4.0] for r in RESOURCES}
+    assert down["arith"] == min(down.values())   # most sensitive
+    assert up["arith"] == max(up.values())
+    assert up["rf"] < 1.05                        # bigger RF: negligible
+    assert down["rf"] < 0.7                       # smaller RF: drastic
+    assert up["hash"] < 1.02                      # hash FU sized to HBM BW
+    for r in RESOURCES:
+        assert up[r] < 1.6                        # balanced design point
+        assert down[r] < 0.95

@@ -1,0 +1,70 @@
+"""Fig. 8: NoCap's design space — performance vs area scatter at 1 TB/s
+and 2 TB/s HBM with Pareto frontiers.
+
+Paper reference (qualitative): the chosen 45.87 mm^2 configuration sits
+at the knee of the 1 TB/s frontier (the curve flattens for larger areas),
+and 2 TB/s shifts the frontier to higher performance at higher area.
+"""
+
+from conftest import emit
+
+from repro.analysis.figures import ascii_line_chart
+from repro.analysis.tables import format_table
+from repro.nocap import (
+    DEFAULT_CONFIG,
+    design_space_sweep,
+    gmean_prover_seconds,
+    pareto_frontier,
+)
+from repro.nocap.area import area_model
+
+SWEEP_KW = dict(arith_factors=(0.25, 0.5, 1.0, 2.0, 4.0),
+                ntt_factors=(0.5, 1.0, 2.0),
+                hash_factors=(0.5, 1.0, 2.0),
+                rf_factors=(0.5, 1.0, 2.0))
+
+
+def _sweep_both():
+    one = design_space_sweep(hbm_bytes_per_s=1e12, **SWEEP_KW)
+    two = design_space_sweep(hbm_bytes_per_s=2e12, **SWEEP_KW)
+    return one, two
+
+
+def test_fig8(benchmark):
+    one, two = benchmark(_sweep_both)
+    f1 = pareto_frontier(one)
+    f2 = pareto_frontier(two)
+    chosen_area = area_model(DEFAULT_CONFIG).total
+    chosen_time = gmean_prover_seconds(DEFAULT_CONFIG)
+
+    def rows(frontier):
+        return [(p.area_mm2, p.gmean_seconds, 1.0 / p.gmean_seconds)
+                for p in frontier]
+
+    table = format_table(["Area (mm^2)", "gmean time (s)", "perf (1/s)"],
+                         rows(f1),
+                         f"Fig. 8 Pareto frontier, 1 TB/s HBM "
+                         f"({len(one)} points swept)")
+    table += "\n\n" + format_table(
+        ["Area (mm^2)", "gmean time (s)", "perf (1/s)"], rows(f2),
+        f"Fig. 8 Pareto frontier, 2 TB/s HBM ({len(two)} points swept)")
+    table += (f"\n\nchosen configuration: {chosen_area:.1f} mm^2, "
+              f"gmean {chosen_time:.3f} s")
+    chart = ascii_line_chart(
+        {"1 TB/s": [(p.area_mm2, 1.0 / p.gmean_seconds) for p in one],
+         "2 TB/s": [(p.area_mm2, 1.0 / p.gmean_seconds) for p in two],
+         "chosen": [(chosen_area, 1.0 / chosen_time)]},
+        title="\nFig. 8 (performance vs area):")
+    emit("fig8_design_space", table + "\n" + chart)
+
+    # The chosen point is not dominated by any swept 1 TB/s point.
+    for p in one:
+        assert not (p.area_mm2 < chosen_area * 0.99
+                    and p.gmean_seconds < chosen_time * 0.99)
+    # The frontier flattens: performance gain per area shrinks past the knee.
+    big = [p for p in f1 if p.area_mm2 > chosen_area * 1.5]
+    if big:
+        best_big = min(p.gmean_seconds for p in big)
+        assert chosen_time / best_big < 2.0  # < 2x for >1.5x the area
+    # 2 TB/s reaches beyond the 1 TB/s frontier.
+    assert min(p.gmean_seconds for p in f2) < min(p.gmean_seconds for p in f1)

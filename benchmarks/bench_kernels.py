@@ -1,0 +1,73 @@
+"""Microbenchmarks of the functional layer's primitive kernels — the
+operations NoCap's FUs implement (Sec. IV-B): modular vector arithmetic,
+NTTs, hashing/Merkle trees, the sumcheck DP, and SpMV.
+
+These measure the *Python* substrate (pytest-benchmark timings), giving
+the measured per-element costs the performance model's CPU comparisons
+are sanity-checked against.
+"""
+
+import numpy as np
+import pytest
+
+from repro.field import vector as fv
+from repro.hashing import MerkleTree, Transcript
+from repro.multilinear import prove_sumcheck
+from repro.ntt import four_step_ntt, ntt
+from repro.r1cs.matrices import SparseMatrix
+from repro.workloads import synthetic_r1cs
+
+RNG = np.random.default_rng(0xBE)
+VEC = fv.rand_vector(1 << 16, RNG)
+VEC_B = fv.rand_vector(1 << 16, RNG)
+
+
+def test_vector_mul(benchmark):
+    out = benchmark(fv.mul, VEC, VEC_B)
+    assert out.shape == VEC.shape
+
+
+def test_vector_add(benchmark):
+    out = benchmark(fv.add, VEC, VEC_B)
+    assert out.shape == VEC.shape
+
+
+def test_vector_inner_product(benchmark):
+    out = benchmark(fv.dot, VEC[:4096], VEC_B[:4096])
+    assert isinstance(out, int)
+
+
+@pytest.mark.parametrize("log_n", [10, 14, 16])
+def test_ntt_radix2(benchmark, log_n):
+    x = VEC[: 1 << log_n]
+    out = benchmark(ntt, x)
+    assert out.shape == x.shape
+
+
+def test_ntt_four_step(benchmark):
+    x = VEC[: 1 << 14]
+    out = benchmark(four_step_ntt, x, False, 1 << 6)
+    assert (out == ntt(x)).all()
+
+
+def test_merkle_tree_build(benchmark):
+    mat = VEC[: 128 * 256].reshape(128, 256)
+    tree = benchmark(MerkleTree.from_columns, mat)
+    assert tree.num_leaves == 256
+
+
+def test_sumcheck_prover(benchmark):
+    tables = [VEC[: 1 << 12], VEC_B[: 1 << 12]]
+
+    def run():
+        return prove_sumcheck(tables, Transcript())
+
+    proof, _ = benchmark(run)
+    assert proof.num_rounds == 12
+
+
+def test_spmv(benchmark):
+    r1cs, pub, wit = synthetic_r1cs(12, band=32, seed=5)
+    z = r1cs.assemble_z(pub, wit)
+    out = benchmark(r1cs.a.matvec, z)
+    assert out.shape == z.shape

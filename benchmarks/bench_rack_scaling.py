@@ -1,0 +1,41 @@
+"""Extension bench (Sec. X future work): rack-scale strong scaling.
+
+Projects the paper's closing observation — folding-based proofs would
+let large statements shard across many NoCap chips with little
+communication — using the calibrated single-chip model.  Not a paper
+table; shapes asserted: near-linear scaling at low shard counts, then
+aggregation/communication overheads flatten the curve.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.nocap.multiaccelerator import scaling_curve
+
+N = 550_000_000  # the Auction statement: the largest in Table III
+
+
+def _curve():
+    return scaling_curve(N, accelerator_counts=[1, 2, 4, 8, 16, 32, 64])
+
+
+def test_rack_scaling(benchmark):
+    points = benchmark(_curve)
+    table = format_table(
+        ["Accelerators", "Shard (s)", "Aggregate (s)", "Comm (s)",
+         "Total (s)", "Speedup", "Efficiency"],
+        [(p.num_accelerators, p.shard_seconds, p.aggregation_seconds,
+          p.communication_seconds, p.total_seconds, p.speedup, p.efficiency)
+         for p in points],
+        f"Rack-scale projection: Auction ({N / 1e6:.0f}M constraints) "
+        "sharded across NoCap chips")
+    emit("rack_scaling", table)
+
+    by_s = {p.num_accelerators: p for p in points}
+    assert by_s[1].speedup == 1.0
+    # Mild superlinearity: sharding avoids spill rounds, so early scaling
+    # is at least ~80% efficient.
+    assert by_s[4].efficiency > 0.8
+    # Speedup is monotone up to the knee, then flattens.
+    assert by_s[16].speedup > by_s[4].speedup > by_s[1].speedup
+    assert by_s[64].efficiency < by_s[4].efficiency

@@ -1,0 +1,35 @@
+"""Table I: end-to-end anatomy of five prover/hardware combinations at
+16M R1CS constraints over a 10 MB/s link.
+
+Paper reference (totals, seconds): Groth16 CPU 54.00, GPU 37.45,
+PipeZK 8.03; Spartan+Orion CPU 95.14, NoCap 1.09.
+"""
+
+from conftest import emit
+
+from repro.analysis import table1_rows
+from repro.analysis.tables import format_table
+
+PAPER_TOTALS = {
+    "Groth16 / CPU": 54.00,
+    "Groth16 / GPU": 37.45,
+    "Groth16 / PipeZK": 8.03,
+    "Spartan+Orion / CPU": 95.14,
+    "Spartan+Orion / NoCap": 1.09,
+}
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    table = format_table(
+        ["zkSNARK / prover", "Prover (s)", "Send (s)", "Verifier (s)",
+         "Total (s)", "Paper total (s)"],
+        [(r.label, r.prover_s, r.send_s, r.verifier_s, r.total_s,
+          PAPER_TOTALS[r.label]) for r in rows],
+        "Table I: end-to-end execution time, 16M constraints, 10 MB/s link")
+    emit("table1_endtoend", table)
+    for r in rows:
+        assert abs(r.total_s - PAPER_TOTALS[r.label]) / PAPER_TOTALS[r.label] < 0.05
+    nocap = next(r for r in rows if "NoCap" in r.label)
+    pipezk = next(r for r in rows if "PipeZK" in r.label)
+    assert 6.9 < pipezk.total_s / nocap.total_s < 7.9  # paper: 7.4x

@@ -1,0 +1,33 @@
+"""Table III: benchmark characteristics — R1CS size, proof size, and CPU
+verification time for the five workloads.
+
+Paper reference: AES 16.0M/8.1MB/134.0ms ... Auction 550M/12.5MB/276.1ms.
+"""
+
+from conftest import emit
+
+from repro.analysis import proof_size_mb, verifier_seconds
+from repro.analysis.tables import format_table
+from repro.workloads.spec import PAPER_WORKLOADS
+
+
+def _rows():
+    rows = []
+    for w in PAPER_WORKLOADS:
+        rows.append((w.name, w.raw_constraints / 1e6,
+                     proof_size_mb(w.raw_constraints), w.paper_proof_mb,
+                     verifier_seconds(w.raw_constraints) * 1e3,
+                     w.paper_verify_ms))
+    return rows
+
+
+def test_table3(benchmark):
+    rows = benchmark(_rows)
+    table = format_table(
+        ["Benchmark", "R1CS (M)", "Proof (MB)", "Paper (MB)",
+         "V time (ms)", "Paper (ms)"],
+        rows, "Table III: proof size and verification time per benchmark")
+    emit("table3_benchmarks", table)
+    for name, _, size, paper_size, vms, paper_vms in rows:
+        assert abs(size - paper_size) < 0.15, name
+        assert abs(vms - paper_vms) < 2.0, name

@@ -1,0 +1,46 @@
+"""Table IV: proof-generation time for NoCap, the 32-core CPU, and
+PipeZK, with NoCap's speedups.
+
+Paper reference: gmean 586x over the CPU and 41x over PipeZK
+(per-benchmark: 560-622x and 25-53x).
+"""
+
+from conftest import emit
+
+from repro.analysis import gmean
+from repro.analysis.tables import format_table
+from repro.baselines import DEFAULT_CPU, PipeZkModel
+from repro.nocap.simulator import prover_seconds
+from repro.workloads.spec import PAPER_WORKLOADS
+
+
+def _rows():
+    pipezk = PipeZkModel()
+    rows = []
+    for w in PAPER_WORKLOADS:
+        t_nocap = prover_seconds(w.raw_constraints)
+        t_cpu = DEFAULT_CPU.prover_seconds(w.raw_constraints)
+        t_pz = pipezk.prover_seconds(w.raw_constraints)
+        rows.append((w.name, t_nocap, t_cpu, t_cpu / t_nocap,
+                     w.paper_cpu_s / w.paper_nocap_s,
+                     t_pz, t_pz / t_nocap,
+                     w.paper_pipezk_s / w.paper_nocap_s))
+    return rows
+
+
+def test_table4(benchmark):
+    rows = benchmark(_rows)
+    table = format_table(
+        ["Workload", "NoCap (s)", "CPU (s)", "vs CPU", "paper",
+         "PipeZK (s)", "vs PipeZK", "paper"],
+        rows, "Table IV: proof generation time and NoCap speedups")
+    g_cpu = gmean([r[3] for r in rows])
+    g_pz = gmean([r[6] for r in rows])
+    table += (f"\ngmean speedup vs CPU:    {g_cpu:6.0f}x (paper 586x)"
+              f"\ngmean speedup vs PipeZK: {g_pz:6.0f}x (paper 41x)")
+    emit("table4_proving", table)
+    assert abs(g_cpu - 586) / 586 < 0.06
+    assert abs(g_pz - 41) / 41 < 0.10
+    for row in rows:
+        assert abs(row[3] - row[4]) / row[4] < 0.12, row[0]   # vs CPU
+        assert abs(row[6] - row[7]) / row[7] < 0.12, row[0]   # vs PipeZK

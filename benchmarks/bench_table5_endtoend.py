@@ -1,0 +1,38 @@
+"""Table V: per-benchmark end-to-end runtime for NoCap and speedup over
+PipeZK (prover + 10 MB/s proof send + verification).
+
+Paper reference: totals 1.1/1.3/2.5/4.0/12.3 s; speedups 7.4x/12.1x/
+19.6x/34.1x/22.4x, gmean 16.8x.
+"""
+
+from conftest import emit
+
+from repro.analysis import gmean, table5_rows
+from repro.analysis.tables import format_table
+
+PAPER = {
+    "AES": (1.1, 7.4),
+    "SHA": (1.3, 12.1),
+    "RSA": (2.5, 19.6),
+    "Litmus": (4.0, 34.1),
+    "Auction": (12.3, 22.4),
+}
+
+
+def test_table5(benchmark):
+    rows = benchmark(table5_rows)
+    table = format_table(
+        ["Workload", "Prover (s)", "Send (s)", "Verifier (s)", "Total (s)",
+         "Paper total", "vs PipeZK", "Paper"],
+        [(r.workload, r.prover_s, r.send_s, r.verifier_s, r.total_s,
+          PAPER[r.workload][0], r.speedup_vs_pipezk, PAPER[r.workload][1])
+         for r in rows],
+        "Table V: end-to-end runtime and speedup vs PipeZK")
+    g = gmean([r.speedup_vs_pipezk for r in rows])
+    table += f"\ngmean end-to-end speedup vs PipeZK: {g:.1f}x (paper 16.8x)"
+    emit("table5_endtoend", table)
+    assert abs(g - 16.8) / 16.8 < 0.05
+    for r in rows:
+        paper_total, paper_speedup = PAPER[r.workload]
+        assert abs(r.total_s - paper_total) / paper_total < 0.10, r.workload
+        assert abs(r.speedup_vs_pipezk - paper_speedup) / paper_speedup < 0.10

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and emits
+the rows both to stdout and to ``benchmarks/out/<name>.txt`` so results
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

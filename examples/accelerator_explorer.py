@@ -1,0 +1,80 @@
+"""NoCap accelerator exploration: simulate proof generation at paper
+scale, inspect the runtime/traffic/power breakdowns (Figs. 5-6), and
+sweep the design space (Figs. 7-8).
+
+Run:  python examples/accelerator_explorer.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.nocap import (
+    DEFAULT_CONFIG,
+    NoCapSimulator,
+    area_model,
+    pareto_frontier,
+    power_model,
+    sensitivity_sweep,
+)
+from repro.nocap.designspace import design_space_sweep
+from repro.workloads.spec import PAPER_WORKLOADS
+
+
+def main() -> None:
+    sim = NoCapSimulator(DEFAULT_CONFIG)
+
+    # -- chip summary (Table II) ---------------------------------------------
+    area = area_model()
+    print(f"NoCap @14nm, 1 GHz: {area.total:.2f} mm^2 "
+          f"({area.total_compute:.2f} compute, "
+          f"{area.total_memory_system:.2f} memory system)")
+
+    # -- one proof at the Table I reference size -----------------------------
+    report = sim.simulate(1 << 24)
+    power = power_model(report)
+    print(f"\n16M-constraint proof: {report.total_seconds * 1e3:.1f} ms, "
+          f"{report.total_traffic_bytes / 1e9:.1f} GB HBM traffic, "
+          f"{power.total_watts:.1f} W")
+    print(format_table(
+        ["task family", "time %", "traffic %"],
+        [(fam, 100 * report.time_fractions()[fam],
+          100 * report.traffic_fractions()[fam])
+         for fam in ("sumcheck", "polyarith", "rs_encode", "merkle", "spmv")],
+        "\nruntime and memory-traffic breakdown (Fig. 6):"))
+    print(f"compute utilization: {report.compute_utilization():.0%}")
+
+    # -- per-benchmark proving time (Table IV) --------------------------------
+    rows = []
+    for w in PAPER_WORKLOADS:
+        r = sim.simulate(w.padded_constraints)
+        rows.append((w.name, r.total_seconds, w.paper_nocap_s))
+    print(format_table(["workload", "model (s)", "paper (s)"], rows,
+                       "\nproving time (Table IV):"))
+
+    # -- sensitivity (Fig. 7) --------------------------------------------------
+    points = sensitivity_sweep(factors=(0.25, 0.5, 1.0, 2.0, 4.0))
+    by_resource = {}
+    for p in points:
+        by_resource.setdefault(p.resource, {})[p.factor] = p.relative_performance
+    rows = [(res,) + tuple(by_resource[res][f] for f in (0.25, 0.5, 1.0, 2.0, 4.0))
+            for res in ("arith", "hash", "ntt", "hbm", "rf")]
+    print(format_table(["resource", "x0.25", "x0.5", "x1", "x2", "x4"], rows,
+                       "\nsensitivity: relative gmean performance (Fig. 7):"))
+
+    # -- design space (Fig. 8) ---------------------------------------------------
+    sweep = design_space_sweep(
+        hbm_bytes_per_s=1e12,
+        arith_factors=(0.25, 0.5, 1.0, 2.0),
+        ntt_factors=(0.5, 1.0, 2.0),
+        hash_factors=(1.0,),
+        rf_factors=(0.5, 1.0),
+        workload_sizes=[w.raw_constraints for w in PAPER_WORKLOADS])
+    frontier = pareto_frontier(sweep)
+    print(format_table(
+        ["area (mm^2)", "gmean time (s)", "mul lanes", "ntt lanes", "RF MB"],
+        [(p.area_mm2, p.gmean_seconds, p.config.mul_lanes,
+          p.config.ntt_lanes, p.config.register_file_bytes >> 20)
+         for p in frontier],
+        f"\nPareto frontier at 1 TB/s ({len(sweep)} points swept, Fig. 8):"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Private set membership: prove a credential belongs to a committed set
+without revealing which one.
+
+A registrar publishes the Poseidon Merkle root of a credential set.  A
+user proves, in zero knowledge, "I hold a credential in the set" —
+neither the credential nor its position leaks.  This is the circuit
+pattern behind anonymous credentials, allow-lists, and (at scale)
+Zcash-style note membership; it exercises the field-friendly hash gadget
+that makes in-circuit hashing affordable (184 constraints per Poseidon
+permutation vs tens of thousands for bitwise SHA-256).
+
+Run:  python examples/private_membership.py
+"""
+
+import random
+
+from repro.hashing import poseidon
+from repro.r1cs import Circuit
+from repro.r1cs.poseidon_gadget import merkle_verify_gadget
+from repro.snark import Snark, TEST
+
+
+def membership_circuit(root: int, credential: int, index: int,
+                       path: list) -> Circuit:
+    """Public: the set's Merkle root.  Witness: credential, position, path."""
+    circuit = Circuit()
+    root_pub = circuit.public(root)
+
+    leaf = circuit.witness(credential)
+    bits = [circuit.witness((index >> k) & 1) for k in range(len(path))]
+    for b in bits:
+        circuit.assert_bool(b)
+    siblings = [circuit.witness(s) for s in path]
+    merkle_verify_gadget(circuit, root_pub, leaf, bits, siblings)
+    return circuit
+
+
+def main() -> None:
+    rng = random.Random(0x5E7)
+    credentials = [rng.randrange(1 << 60) for _ in range(16)]
+    root = poseidon.merkle_root(credentials)
+    print(f"registrar publishes root of {len(credentials)} credentials: "
+          f"{root:#x}")
+
+    # The user holds credential #11.
+    index = 11
+    path = poseidon.merkle_path(credentials, index)
+    circuit = membership_circuit(root, credentials[index], index, path)
+    print(f"membership circuit: {circuit.num_constraints} constraints "
+          f"(depth-{len(path)} Poseidon path)")
+
+    snark = Snark.from_circuit(circuit, preset=TEST)
+    bundle = snark.prove()
+    assert snark.verify(bundle)
+    print(f"membership proof verified ({bundle.size_bytes()} bytes) — "
+          "the verifier learns nothing about which credential")
+
+    # A credential outside the set cannot be proven: building the circuit
+    # with a forged path leaves the system unsatisfiable.
+    forged = membership_circuit(root, credentials[index] + 1, index, path)
+    r1cs, pub, wit = forged.compile()
+    assert not r1cs.is_satisfied(r1cs.assemble_z(pub, wit))
+    print("forged credential produces an unsatisfiable circuit")
+
+
+if __name__ == "__main__":
+    main()

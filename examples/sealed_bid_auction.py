@@ -1,0 +1,51 @@
+"""Trustless sealed-bid auction (the paper's Auction benchmark, after
+Galal & Youssef).
+
+The auctioneer announces a winner and a price, and proves to every
+participant that the winner really submitted the highest bid — without
+revealing any losing bid.
+
+Run:  python examples/sealed_bid_auction.py
+"""
+
+import random
+
+from repro.snark import Snark, TEST
+from repro.workloads import auction_circuit
+
+
+def main() -> None:
+    rng = random.Random(0xB1D5)
+    bid_bits = 20
+    bids = [rng.randrange(1 << bid_bits) for _ in range(12)]
+    winner = max(range(len(bids)), key=lambda i: bids[i])
+
+    print(f"{len(bids)} sealed bids submitted (values private)")
+    print(f"auctioneer announces: winner = bidder #{winner}, "
+          f"price = {bids[winner]}")
+
+    circuit, amount = auction_circuit(bids, winner, bid_bits)
+    print(f"auction circuit: {circuit.num_constraints} constraints")
+
+    snark = Snark.from_circuit(circuit, preset=TEST)
+    bundle = snark.prove()
+    assert snark.verify(bundle)
+    print(f"auction proof verified ({bundle.size_bytes()} bytes): every "
+          "losing bid is <= the announced price, and the winner bid it")
+
+    # An inflated announced price must fail verification.
+    bad = bundle.public.copy()
+    bad[2] = int(bad[2]) + 1
+    assert not snark.verify_raw(bad, bundle.proof)
+    print("inflated price rejected")
+
+    # A dishonest winner declaration is rejected at circuit construction.
+    loser = min(range(len(bids)), key=lambda i: bids[i])
+    try:
+        auction_circuit(bids, loser, bid_bits)
+    except ValueError as e:
+        print(f"dishonest winner rejected: {e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Reproduction of NoCap (MICRO 2024): hash-based "
+                 "zero-knowledge proof system (Spartan+Orion) with a "
+                 "co-designed accelerator performance model"),
+    long_description=open("README.md").read(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,54 @@
+"""repro: a reproduction of "Accelerating Zero-Knowledge Proofs Through
+Hardware-Algorithm Co-Design" (NoCap, MICRO 2024).
+
+Two layers:
+
+* A **functional** hash-based zk-SNARK — the Spartan IOP composed with an
+  Orion-style polynomial commitment over the Goldilocks-64 field — that
+  really proves and verifies R1CS statements (:mod:`repro.snark`,
+  :mod:`repro.spartan`, :mod:`repro.pcs`, plus the field / NTT / hashing /
+  code / R1CS substrates).
+* A **performance-model** layer reproducing the paper's evaluation: the
+  NoCap accelerator simulator (:mod:`repro.nocap`), CPU / Groth16 /
+  PipeZK baselines (:mod:`repro.baselines`), the five benchmark workloads
+  (:mod:`repro.workloads`), and the table/figure analyses
+  (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro.r1cs import Circuit
+    from repro.snark import Snark
+
+    circuit = Circuit()
+    out = circuit.public(35)
+    x = circuit.witness(3)
+    circuit.assert_equal(circuit.mul(circuit.mul(x, x), x) + x + 5, out)
+    snark = Snark.from_circuit(circuit)
+    bundle = snark.prove()
+    assert snark.verify(bundle)
+"""
+
+__version__ = "1.0.0"
+
+from . import (  # noqa: F401
+    analysis,
+    baselines,
+    code,
+    field,
+    hashing,
+    multilinear,
+    nocap,
+    ntt,
+    pcs,
+    r1cs,
+    snark,
+    spartan,
+    workloads,
+)
+from .opcount import OpCount  # noqa: F401
+
+__all__ = [
+    "analysis", "baselines", "code", "field", "hashing", "multilinear",
+    "nocap", "ntt", "pcs", "r1cs", "snark", "spartan", "workloads",
+    "OpCount", "__version__",
+]

@@ -1,0 +1,49 @@
+"""Analysis: end-to-end models, proof sizes, op counts, use cases."""
+
+from .estimate import ProverEstimate, estimate
+from .endtoend import (
+    CONSTRAINTS_PER_TRANSACTION,
+    DatabaseOperatingPoint,
+    EndToEndRow,
+    Table5Row,
+    database_throughput,
+    gmean,
+    groth16_rows,
+    spartan_orion_cpu_row,
+    spartan_orion_nocap_row,
+    table1_rows,
+    table5_rows,
+)
+from .opcounts import (
+    GROTH16_MULT_RATIO,
+    CpuEfficiencyBreakdown,
+    cpu_efficiency_breakdown,
+    groth16_mul_count,
+    spartan_orion_mul_count,
+)
+from .proofsize import (
+    LINK_BYTES_PER_S,
+    proof_size_bytes,
+    proof_size_mb,
+    send_seconds,
+    verifier_seconds,
+)
+from .figures import ascii_bar_chart, ascii_line_chart
+from .tables import format_speedup, format_table
+from .usecases import UseCaseEstimate, dp_training_proof, photo_modification
+
+__all__ = [
+    "ProverEstimate", "estimate",
+    "CONSTRAINTS_PER_TRANSACTION", "DatabaseOperatingPoint", "EndToEndRow",
+    "Table5Row", "database_throughput", "gmean", "groth16_rows",
+    "spartan_orion_cpu_row", "spartan_orion_nocap_row", "table1_rows",
+    "table5_rows",
+    "GROTH16_MULT_RATIO", "CpuEfficiencyBreakdown",
+    "cpu_efficiency_breakdown", "groth16_mul_count",
+    "spartan_orion_mul_count",
+    "LINK_BYTES_PER_S", "proof_size_bytes", "proof_size_mb", "send_seconds",
+    "verifier_seconds",
+    "ascii_bar_chart", "ascii_line_chart",
+    "format_speedup", "format_table",
+    "UseCaseEstimate", "dp_training_proof", "photo_modification",
+]

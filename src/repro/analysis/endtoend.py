@@ -1,0 +1,155 @@
+"""End-to-end performance analysis: Tables I and V, and the real-time
+verifiable-database scenario (Sec. I / VIII-A).
+
+End-to-end time = prover + proof transmission over a 10 MB/s link +
+verification (Sec. III).  Hardware acceleration affects only the prover
+term, which is why Spartan+Orion's larger proofs still win once NoCap
+collapses proving time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..baselines.cpu import DEFAULT_CPU, CpuModel
+from ..baselines.groth16 import Groth16Cpu, Groth16Gpu
+from ..baselines.pipezk import PipeZkModel
+from ..nocap.config import NoCapConfig
+from ..nocap.simulator import prover_seconds as nocap_prover_seconds
+from ..workloads.spec import PAPER_WORKLOADS, REFERENCE_CONSTRAINTS, WorkloadSpec
+from .proofsize import (
+    proof_size_bytes,
+    send_seconds,
+    verifier_seconds,
+)
+
+
+@dataclass
+class EndToEndRow:
+    """One row of Table I / Table V."""
+
+    label: str
+    prover_s: float
+    send_s: float
+    verifier_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.prover_s + self.send_s + self.verifier_s
+
+
+def spartan_orion_cpu_row(raw_constraints: int,
+                          cpu: CpuModel = DEFAULT_CPU) -> EndToEndRow:
+    return EndToEndRow(
+        label="Spartan+Orion / CPU",
+        prover_s=cpu.prover_seconds(raw_constraints),
+        send_s=send_seconds(proof_size_bytes(raw_constraints)),
+        verifier_s=verifier_seconds(raw_constraints))
+
+
+def spartan_orion_nocap_row(raw_constraints: int,
+                            config: Optional[NoCapConfig] = None) -> EndToEndRow:
+    return EndToEndRow(
+        label="Spartan+Orion / NoCap",
+        prover_s=nocap_prover_seconds(raw_constraints, config),
+        send_s=send_seconds(proof_size_bytes(raw_constraints)),
+        verifier_s=verifier_seconds(raw_constraints))
+
+
+def groth16_rows(raw_constraints: int) -> List[EndToEndRow]:
+    rows = []
+    for label, model in (("Groth16 / CPU", Groth16Cpu()),
+                         ("Groth16 / GPU", Groth16Gpu()),
+                         ("Groth16 / PipeZK", PipeZkModel())):
+        rows.append(EndToEndRow(
+            label=label,
+            prover_s=model.prover_seconds(raw_constraints),
+            send_s=send_seconds(model.proof_bytes(raw_constraints)),
+            verifier_s=model.verify_seconds(raw_constraints)))
+    return rows
+
+
+def table1_rows(raw_constraints: int = REFERENCE_CONSTRAINTS) -> List[EndToEndRow]:
+    """Table I: all five prover/hardware combinations at 16M constraints."""
+    return (groth16_rows(raw_constraints)
+            + [spartan_orion_cpu_row(raw_constraints),
+               spartan_orion_nocap_row(raw_constraints)])
+
+
+@dataclass
+class Table5Row:
+    workload: str
+    prover_s: float
+    send_s: float
+    verifier_s: float
+    total_s: float
+    speedup_vs_pipezk: float
+
+
+def table5_rows(workloads: Optional[List[WorkloadSpec]] = None,
+                config: Optional[NoCapConfig] = None) -> List[Table5Row]:
+    """Table V: per-benchmark end-to-end runtime and speedup vs PipeZK."""
+    rows = []
+    pipezk = PipeZkModel()
+    for w in workloads or PAPER_WORKLOADS:
+        nocap = spartan_orion_nocap_row(w.raw_constraints, config)
+        pz_total = (pipezk.prover_seconds(w.raw_constraints)
+                    + send_seconds(pipezk.proof_bytes(w.raw_constraints))
+                    + pipezk.verify_seconds(w.raw_constraints))
+        rows.append(Table5Row(
+            workload=w.name,
+            prover_s=nocap.prover_s,
+            send_s=nocap.send_s,
+            verifier_s=nocap.verifier_s,
+            total_s=nocap.total_s,
+            speedup_vs_pipezk=pz_total / nocap.total_s))
+    return rows
+
+
+def gmean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+# ---------------------------------------------------------------------------
+# Real-time verifiable database (Sec. I, Sec. VIII-A): transactions are
+# batched into one proof; the transaction latency budget covers proving,
+# proof transmission, and verification.  Throughput is the largest batch
+# that fits the budget.
+# ---------------------------------------------------------------------------
+
+#: Litmus: 268.4M constraints for 10,000 two-access transactions.
+CONSTRAINTS_PER_TRANSACTION = 268_400_000 / 10_000
+
+
+@dataclass
+class DatabaseOperatingPoint:
+    batch_transactions: int
+    latency_s: float
+    throughput_tps: float
+
+
+def database_throughput(prover, latency_budget_s: float = 1.0,
+                        constraints_per_txn: float = CONSTRAINTS_PER_TRANSACTION,
+                        max_log_batch: int = 22) -> DatabaseOperatingPoint:
+    """Largest transaction batch whose end-to-end latency fits the budget.
+
+    ``prover`` maps raw constraints -> proving seconds (e.g.
+    ``DEFAULT_CPU.prover_seconds`` or ``nocap.prover_seconds``).
+    """
+    best = DatabaseOperatingPoint(0, 0.0, 0.0)
+    batch = 1
+    while batch <= (1 << max_log_batch):
+        raw = max(1, int(batch * constraints_per_txn))
+        latency = (prover(raw)
+                   + send_seconds(proof_size_bytes(raw))
+                   + verifier_seconds(raw))
+        if latency <= latency_budget_s:
+            tps = batch / latency
+            if tps > best.throughput_tps:
+                best = DatabaseOperatingPoint(batch, latency, tps)
+        elif batch > 64:
+            break
+        batch = max(batch + 1, int(batch * 1.3))
+    return best

@@ -1,0 +1,90 @@
+"""Bridge from functional circuits to the performance model: given any
+R1CS instance (or compiled circuit), project what proving it would cost
+on NoCap, the 32-core CPU baseline, and PipeZK — plus proof size and
+verification time at paper parameters.
+
+This is the API a downstream user reaches for after building a circuit:
+"my statement has 60k constraints — what would the accelerator buy me?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..baselines.cpu import DEFAULT_CPU
+from ..baselines.pipezk import PipeZkModel
+from ..nocap.config import NoCapConfig
+from ..nocap.simulator import prover_seconds as nocap_prover_seconds
+from ..ntt.polymul import next_pow2
+from ..r1cs.builder import Circuit
+from ..r1cs.system import R1CS
+from .proofsize import proof_size_bytes, send_seconds, verifier_seconds
+
+
+@dataclass
+class ProverEstimate:
+    """Projected costs for proving one statement."""
+
+    raw_constraints: int
+    padded_constraints: int
+    nocap_seconds: float
+    cpu_seconds: float
+    pipezk_seconds: float
+    proof_bytes: float
+    verify_seconds: float
+    send_seconds: float
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.cpu_seconds / self.nocap_seconds
+
+    @property
+    def nocap_end_to_end_seconds(self) -> float:
+        return self.nocap_seconds + self.send_seconds + self.verify_seconds
+
+    def summary(self) -> str:
+        return (
+            f"{self.raw_constraints:,} constraints "
+            f"(padded 2^{self.padded_constraints.bit_length() - 1}):\n"
+            f"  NoCap prover:  {_fmt_s(self.nocap_seconds)}\n"
+            f"  32-core CPU:   {_fmt_s(self.cpu_seconds)} "
+            f"({self.speedup_vs_cpu:,.0f}x slower)\n"
+            f"  PipeZK:        {_fmt_s(self.pipezk_seconds)}\n"
+            f"  proof: {self.proof_bytes / 1e6:.1f} MB, "
+            f"verify {_fmt_s(self.verify_seconds)}, "
+            f"end-to-end {_fmt_s(self.nocap_end_to_end_seconds)}")
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f} h"
+    if seconds >= 1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds * 1e6:.0f} us"
+
+
+def estimate(statement: Union[int, R1CS, Circuit],
+             config: Optional[NoCapConfig] = None) -> ProverEstimate:
+    """Project proving costs for a constraint count, R1CS, or circuit."""
+    if isinstance(statement, Circuit):
+        raw = statement.num_constraints
+    elif isinstance(statement, R1CS):
+        raw = statement.shape.num_constraints
+    else:
+        raw = int(statement)
+    if raw < 1:
+        raise ValueError("statement must have at least one constraint")
+    padded = next_pow2(raw)
+    proof = proof_size_bytes(raw)
+    return ProverEstimate(
+        raw_constraints=raw,
+        padded_constraints=padded,
+        nocap_seconds=nocap_prover_seconds(raw, config),
+        cpu_seconds=DEFAULT_CPU.prover_seconds(raw),
+        pipezk_seconds=PipeZkModel().prover_seconds(raw),
+        proof_bytes=proof,
+        verify_seconds=verifier_seconds(raw),
+        send_seconds=send_seconds(proof))

@@ -1,0 +1,71 @@
+"""ASCII rendering of the paper's figures for terminal-first workflows.
+
+The benchmark harness prints tables; these helpers add line/scatter plots
+so Figs. 7 and 8 can be eyeballed directly in `benchmarks/out/*.txt`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+
+def ascii_line_chart(series: Dict[str, List[Tuple[float, float]]],
+                     width: int = 60, height: int = 16,
+                     title: str = "", log_x: bool = False) -> str:
+    """Plot one or more (x, y) series as an ASCII chart.
+
+    Each series gets a distinct marker; points landing on the same cell
+    show the later series' marker.
+    """
+    markers = "o*x+#@%&"
+    all_pts = [p for pts in series.values() for p in pts]
+    if not all_pts:
+        return title
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+
+    def fx(x: float) -> float:
+        return math.log10(x) if log_x else x
+
+    x_lo, x_hi = min(map(fx, xs)), max(map(fx, xs))
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = int((fx(x) - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:10.3g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    lines.append(f"{'':10}  {x_lo if not log_x else 10**x_lo:<12.4g}"
+                 + " " * max(0, width - 26)
+                 + f"{x_hi if not log_x else 10**x_hi:>12.4g}")
+    legend = "   ".join(f"{marker}={name}"
+                        for (name, _), marker in zip(series.items(), markers))
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(values: Dict[str, float], width: int = 48,
+                    title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart (e.g. the Fig. 5/6 breakdowns)."""
+    if not values:
+        return title
+    peak = max(values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"  {name:<{label_w}} |{bar:<{width}} {value:.3g}{unit}")
+    return "\n".join(lines)

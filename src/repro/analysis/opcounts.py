@@ -1,0 +1,65 @@
+"""Sec. III's operation-count analysis: why Spartan+Orion accelerates so
+much better than Groth16 even though their CPU times are similar.
+
+The paper's accounting, reproduced here:
+
+1. Spartan+Orion performs 4.94x fewer 64-bit multiplies than Groth16
+   (multipliers are the dominant accelerator resource).
+2. On the CPU that advantage is squandered: the Spartan+Orion code
+   retires 4.66x fewer multiplies/second serially, and scales 2.7x at 32
+   cores vs Groth16's 5.0x, so it ends up 4.66/4.94/(2.7/5.0) = 1.74x
+   *slower* than Groth16 in wall-clock.
+3. NoCap restores the algorithmic advantage with specialized,
+   fully-utilized multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.cpu import (
+    GROTH16_PARALLEL_SPEEDUP_32C,
+    PARALLEL_SPEEDUP_32C,
+    SERIAL_MULT_RATE_RATIO,
+)
+from ..nocap.config import DEFAULT_CONFIG
+from ..nocap.tasks import build_prover_tasks
+from ..ntt.polymul import next_pow2
+
+#: Sec. III: Groth16 does 4.94x more 64-bit multiplies than Spartan+Orion.
+GROTH16_MULT_RATIO = 4.94
+
+
+def spartan_orion_mul_count(raw_constraints: int) -> float:
+    """64-bit multiplies in one Spartan+Orion proof (from the task model)."""
+    n = next_pow2(raw_constraints)
+    return sum(t.mul_ops for t in build_prover_tasks(n, DEFAULT_CONFIG))
+
+
+def groth16_mul_count(raw_constraints: int) -> float:
+    """64-bit multiply-equivalents in one Groth16 proof (Sec. III ratio)."""
+    return GROTH16_MULT_RATIO * spartan_orion_mul_count(raw_constraints)
+
+
+@dataclass
+class CpuEfficiencyBreakdown:
+    """Sec. III item 2: the decomposition of the CPU slowdown."""
+
+    mult_count_advantage: float       # 4.94x fewer multiplies
+    serial_rate_deficit: float        # 4.66x fewer multiplies/second
+    parallel_scaling_deficit: float   # 2.7x vs 5.0x at 32 cores
+
+    @property
+    def net_slowdown_vs_groth16(self) -> float:
+        """How much slower Spartan+Orion runs on the CPU despite doing
+        less work: 4.66 / 4.94 / (2.7 / 5.0) = 1.74x."""
+        return (self.serial_rate_deficit / self.mult_count_advantage
+                / (self.parallel_scaling_deficit))
+
+
+def cpu_efficiency_breakdown() -> CpuEfficiencyBreakdown:
+    return CpuEfficiencyBreakdown(
+        mult_count_advantage=GROTH16_MULT_RATIO,
+        serial_rate_deficit=SERIAL_MULT_RATE_RATIO,
+        parallel_scaling_deficit=(PARALLEL_SPEEDUP_32C
+                                  / GROTH16_PARALLEL_SPEEDUP_32C))

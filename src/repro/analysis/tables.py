@@ -1,0 +1,52 @@
+"""Plain-text table rendering for benchmark harness output.
+
+The benchmark scripts print the same rows the paper's tables report;
+this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append([_fmt(cell) for cell in row])
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) if i else c.ljust(w)
+                          for i, (c, w) in enumerate(zip(cells, widths)))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.01:
+            return f"{cell:.3f}"
+        return f"{cell:.2e}"
+    return str(cell)
+
+
+def format_speedup(x: float) -> str:
+    return f"{x:,.0f}x" if x >= 100 else f"{x:.1f}x"

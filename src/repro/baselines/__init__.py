@@ -1,0 +1,14 @@
+"""Baseline cost models: CPU Spartan+Orion, Groth16 CPU/GPU, PipeZK."""
+
+from .cpu import DEFAULT_CPU, CpuModel, unoptimized_speedup
+from .groth16 import Groth16Cpu, Groth16Gpu
+from .pipezk import PipeZkModel
+
+__all__ = [
+    "DEFAULT_CPU",
+    "CpuModel",
+    "unoptimized_speedup",
+    "Groth16Cpu",
+    "Groth16Gpu",
+    "PipeZkModel",
+]

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+tables       Print Tables I, IV and V (end-to-end, proving, speedups).
+simulate     Simulate one NoCap proof (size, breakdowns, power).
+area         Print the Table II area breakdown.
+sensitivity  Print the Fig. 7 sensitivity sweep.
+prove        Build, prove and verify a demo workload circuit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from .analysis import gmean, table1_rows, table5_rows
+    from .analysis.tables import format_table
+    from .baselines import DEFAULT_CPU, PipeZkModel
+    from .nocap.simulator import prover_seconds
+    from .workloads.spec import PAPER_WORKLOADS
+
+    rows = table1_rows()
+    print(format_table(
+        ["zkSNARK / prover", "Prover (s)", "Send (s)", "Verifier (s)", "Total (s)"],
+        [(r.label, r.prover_s, r.send_s, r.verifier_s, r.total_s) for r in rows],
+        "Table I: end-to-end, 16M constraints, 10 MB/s link"))
+
+    pipezk = PipeZkModel()
+    t4 = []
+    for w in PAPER_WORKLOADS:
+        t = prover_seconds(w.raw_constraints)
+        t4.append((w.name, t, DEFAULT_CPU.prover_seconds(w.raw_constraints) / t,
+                   pipezk.prover_seconds(w.raw_constraints) / t))
+    print()
+    print(format_table(["Workload", "NoCap (s)", "vs CPU", "vs PipeZK"], t4,
+                       "Table IV: proving time and speedups"))
+    print(f"gmean: {gmean([r[2] for r in t4]):.0f}x vs CPU, "
+          f"{gmean([r[3] for r in t4]):.0f}x vs PipeZK")
+
+    t5 = table5_rows()
+    print()
+    print(format_table(
+        ["Workload", "Total (s)", "vs PipeZK"],
+        [(r.workload, r.total_s, r.speedup_vs_pipezk) for r in t5],
+        "Table V: end-to-end vs PipeZK"))
+    print(f"gmean: {gmean([r.speedup_vs_pipezk for r in t5]):.1f}x")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .nocap import DEFAULT_CONFIG, NoCapSimulator, power_model
+
+    cfg = DEFAULT_CONFIG
+    scales = {}
+    for resource in ("arith", "hash", "ntt", "hbm", "rf"):
+        factor = getattr(args, resource)
+        if factor != 1.0:
+            scales[resource] = factor
+    if scales:
+        cfg = cfg.scale(**scales)
+    sim = NoCapSimulator(cfg)
+    report = sim.simulate(1 << args.log_n, recompute=not args.no_recompute)
+    power = power_model(report)
+    print(f"NoCap proof of 2^{args.log_n} constraints: "
+          f"{report.total_seconds * 1e3:.2f} ms")
+    print(f"  HBM traffic: {report.total_traffic_bytes / 1e9:.2f} GB "
+          f"({report.memory_utilization():.0%} of bandwidth-time)")
+    print(f"  compute utilization: {report.compute_utilization():.0%}")
+    print(f"  power: {power.total_watts:.1f} W "
+          f"(FUs {power.fu_watts:.1f}, RF {power.rf_watts:.1f}, "
+          f"HBM {power.hbm_watts:.1f})")
+    print("  time by task family:")
+    for fam, frac in sorted(report.time_fractions().items(),
+                            key=lambda kv: -kv[1]):
+        print(f"    {fam:<10} {frac:6.1%}")
+    return 0
+
+
+def _cmd_area(args: argparse.Namespace) -> int:
+    from .nocap import area_model
+
+    for name, mm2 in area_model().as_table().items():
+        print(f"  {name:<35} {mm2:6.2f} mm^2")
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis.tables import format_table
+    from .nocap import sensitivity_sweep
+
+    factors = (0.25, 0.5, 1.0, 2.0, 4.0)
+    points = sensitivity_sweep(factors=factors)
+    perf = {}
+    for p in points:
+        perf.setdefault(p.resource, {})[p.factor] = p.relative_performance
+    print(format_table(
+        ["Resource"] + [f"x{f}" for f in factors],
+        [(res,) + tuple(perf[res][f] for f in factors) for res in perf],
+        "Fig. 7: relative gmean performance"))
+    return 0
+
+
+_WORKLOAD_BUILDERS = {
+    "aes": lambda: __import__("repro.workloads", fromlist=["aes_demo_circuit"])
+    .aes_demo_circuit(num_blocks=1, num_rounds=2)[0],
+    "sha": lambda: __import__("repro.workloads", fromlist=["sha_demo_circuit"])
+    .sha_demo_circuit(num_blocks=1, num_rounds=8)[0],
+    "rsa": lambda: __import__("repro.workloads", fromlist=["rsa_demo_circuit"])
+    .rsa_demo_circuit(num_messages=1, modulus_bits=64, exponent=17)[0],
+    "litmus": lambda: __import__("repro.workloads",
+                                 fromlist=["litmus_demo_circuit"])
+    .litmus_demo_circuit(num_transactions=6, num_rows=8)[0],
+    "auction": lambda: __import__("repro.workloads",
+                                  fromlist=["auction_demo_circuit"])
+    .auction_demo_circuit(num_bids=12, bid_bits=16)[0],
+}
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from .snark import Snark, TEST
+
+    circuit = _WORKLOAD_BUILDERS[args.workload]()
+    print(f"{args.workload}: {circuit.num_constraints} constraints")
+    snark = Snark.from_circuit(circuit, preset=TEST)
+    t0 = time.perf_counter()
+    bundle = snark.prove()
+    t1 = time.perf_counter()
+    ok = snark.verify(bundle)
+    t2 = time.perf_counter()
+    print(f"prove: {t1 - t0:.2f} s | verify: {t2 - t1:.2f} s | "
+          f"proof: {bundle.size_bytes()} bytes | valid: {ok}")
+    from .analysis import estimate
+
+    print("\nprojection at paper parameters:")
+    print(estimate(circuit).summary())
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NoCap (MICRO 2024) reproduction: hash-based ZKPs with "
+                    "a co-designed accelerator model")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I/IV/V").set_defaults(
+        func=_cmd_tables)
+
+    sim = sub.add_parser("simulate", help="simulate one NoCap proof")
+    sim.add_argument("--log-n", type=int, default=24,
+                     help="log2 of the padded constraint count (default 24)")
+    sim.add_argument("--no-recompute", action="store_true",
+                     help="disable the sumcheck recomputation optimization")
+    for resource in ("arith", "hash", "ntt", "hbm", "rf"):
+        sim.add_argument(f"--{resource}", type=float, default=1.0,
+                         help=f"scale factor for {resource} (default 1.0)")
+    sim.set_defaults(func=_cmd_simulate)
+
+    sub.add_parser("area", help="print the Table II area breakdown"
+                   ).set_defaults(func=_cmd_area)
+    sub.add_parser("sensitivity", help="print the Fig. 7 sweep"
+                   ).set_defaults(func=_cmd_sensitivity)
+
+    prove = sub.add_parser("prove", help="prove+verify a demo workload")
+    prove.add_argument("workload", choices=sorted(_WORKLOAD_BUILDERS))
+    prove.set_defaults(func=_cmd_prove)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Linear error-correcting codes for the Orion polynomial commitment."""
+
+from .base import LinearCode
+from .expander import ExpanderCode
+from .reed_solomon import DEFAULT_BLOWUP, DEFAULT_QUERIES, ReedSolomonCode
+
+__all__ = [
+    "LinearCode",
+    "ExpanderCode",
+    "ReedSolomonCode",
+    "DEFAULT_BLOWUP",
+    "DEFAULT_QUERIES",
+]

@@ -1,0 +1,228 @@
+"""Vectorized Goldilocks-64 arithmetic on numpy uint64 arrays.
+
+These kernels are the software analogue of NoCap's 2,048-lane modular
+add/multiply functional units: element-wise operations over vectors of
+64-bit residues, using only 64-bit integer operations plus the Goldilocks
+reduction (adds, shifts, and conditional corrections) — exactly the
+structure the paper exploits in hardware (Sec. IV-A).
+
+All functions accept and return arrays in canonical form (values < p) with
+dtype ``uint64``.  Scalars may be passed wherever an array is accepted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .goldilocks import MODULUS
+
+import functools
+
+
+def _wrapping(fn):
+    """Run ``fn`` with numpy overflow warnings suppressed.
+
+    The kernels rely on 64-bit wraparound; numpy warns on overflow for
+    0-d/scalar operands, so each kernel scopes the suppression to itself.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with np.errstate(over="ignore"):
+            return fn(*args, **kwargs)
+
+    return wrapper
+
+_P = np.uint64(MODULUS)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_EPS = np.uint64(0xFFFFFFFF)  # 2^64 mod p = 2^32 - 1
+_SHIFT32 = np.uint64(32)
+_ZERO = np.uint64(0)
+_ONE = np.uint64(1)
+
+
+def asfield(values: "Sequence[int] | np.ndarray | int") -> np.ndarray:
+    """Coerce Python ints / sequences / arrays into canonical uint64 residues."""
+    if isinstance(values, np.ndarray) and values.dtype == np.uint64:
+        arr = values
+    else:
+        if np.isscalar(values):
+            values = [values]
+        arr = np.array([int(v) % MODULUS for v in np.asarray(values, dtype=object).ravel()],
+                       dtype=np.uint64)
+        return arr
+    # Already uint64: canonicalize any values >= p.
+    over = arr >= _P
+    if over.any():
+        arr = np.where(over, arr - _P, arr)
+    return arr
+
+
+def zeros(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.uint64)
+
+
+def ones(n: int) -> np.ndarray:
+    return np.ones(n, dtype=np.uint64)
+
+
+def full(n: int, value: int) -> np.ndarray:
+    return np.full(n, np.uint64(value % MODULUS), dtype=np.uint64)
+
+
+@_wrapping
+def rand_vector(n: int, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Sample n uniform field elements."""
+    g = rng or np.random.default_rng()
+    # Rejection-free: 2^64 mod p = 2^32-1 values map onto [0, 2^32-1); the
+    # bias is ~2^-32 per element, negligible for tests and benchmarks.
+    raw = g.integers(0, 1 << 63, size=n, dtype=np.uint64) << _ONE
+    raw |= g.integers(0, 2, size=n, dtype=np.uint64)
+    return np.where(raw >= _P, raw - _P, raw)
+
+
+@_wrapping
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise (a + b) mod p."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    s = a + b
+    over = s < a  # 64-bit wraparound happened
+    s = np.where(over, s + _EPS, s)
+    s = np.where(~over & (s >= _P), s - _P, s)
+    return s
+
+
+@_wrapping
+def sub(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise (a - b) mod p."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    d = a - b
+    borrow = a < b
+    return np.where(borrow, d - _EPS, d)
+
+
+def neg(a: np.ndarray) -> np.ndarray:
+    """Element-wise -a mod p."""
+    a = np.asarray(a, dtype=np.uint64)
+    return np.where(a == _ZERO, _ZERO, _P - a)
+
+
+@_wrapping
+def mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise (a * b) mod p using the Goldilocks 128-bit reduction.
+
+    The 128-bit product is assembled from four 32x32->64 partial products;
+    the high word is folded in via 2^64 = 2^32 - 1 (mod p) and
+    2^96 = -1 (mod p).
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    a_lo = a & _MASK32
+    a_hi = a >> _SHIFT32
+    b_lo = b & _MASK32
+    b_hi = b >> _SHIFT32
+
+    ll = a_lo * b_lo
+    lh = a_lo * b_hi
+    hl = a_hi * b_lo
+    hh = a_hi * b_hi
+
+    mid = lh + hl
+    mid_carry = (mid < lh).astype(np.uint64)  # 1 iff lh + hl wrapped
+
+    lo = ll + (mid << _SHIFT32)
+    lo_carry = (lo < ll).astype(np.uint64)
+    hi = hh + (mid >> _SHIFT32) + (mid_carry << _SHIFT32) + lo_carry
+
+    return _reduce128(hi, lo)
+
+
+def _reduce128(hi: np.ndarray, lo: np.ndarray) -> np.ndarray:
+    """Reduce hi*2^64 + lo modulo p."""
+    hi_lo = hi & _MASK32
+    hi_hi = hi >> _SHIFT32
+
+    # t = lo - hi_hi (mod p); a 64-bit borrow corresponds to -2^64 = -(2^32-1).
+    t = lo - hi_hi
+    borrow = lo < hi_hi
+    t = np.where(borrow, t - _EPS, t)
+
+    # t += hi_lo * (2^32 - 1); the product fits in 64 bits.
+    add_term = (hi_lo << _SHIFT32) - hi_lo
+    t2 = t + add_term
+    carry = t2 < t
+    t2 = np.where(carry, t2 + _EPS, t2)
+    return np.where(t2 >= _P, t2 - _P, t2)
+
+
+def mul_scalar(a: np.ndarray, s: int) -> np.ndarray:
+    """Multiply a vector by a scalar field element."""
+    return mul(a, np.uint64(s % MODULUS))
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> int:
+    """Inner product <a, b> in GF(p), returned as a Python int."""
+    prods = mul(a, b)
+    return vsum(prods)
+
+
+def vsum(a: np.ndarray) -> int:
+    """Sum of all elements mod p (exact; accumulates in Python ints)."""
+    # Sum in chunks as object ints: fast enough and overflow-free.
+    total = int(np.add.reduce(np.asarray(a, dtype=object))) if len(a) else 0
+    return total % MODULUS
+
+
+@_wrapping
+def pow_vector(a: np.ndarray, e: int) -> np.ndarray:
+    """Element-wise a^e mod p via square-and-multiply."""
+    a = np.asarray(a, dtype=np.uint64)
+    result = np.ones_like(a)
+    base = a.copy()
+    while e > 0:
+        if e & 1:
+            result = mul(result, base)
+        base = mul(base, base)
+        e >>= 1
+    return result
+
+
+@_wrapping
+def inv_vector(a: np.ndarray) -> np.ndarray:
+    """Element-wise inverse via batch (Montgomery) inversion.
+
+    Raises ZeroDivisionError if any element is zero.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    if (a == _ZERO).any():
+        raise ZeroDivisionError("inverse of zero in GF(p)")
+    n = len(a)
+    prefix = np.empty(n, dtype=np.uint64)
+    acc = np.uint64(1)
+    for i in range(n):
+        prefix[i] = acc
+        acc = mul(acc, a[i])
+    acc_inv = np.uint64(pow(int(acc), MODULUS - 2, MODULUS))
+    out = np.empty(n, dtype=np.uint64)
+    for i in range(n - 1, -1, -1):
+        out[i] = mul(acc_inv, prefix[i])
+        acc_inv = mul(acc_inv, a[i])
+    return out
+
+
+def powers(base: int, n: int) -> np.ndarray:
+    """Return [1, base, base^2, ..., base^(n-1)]."""
+    out = np.empty(n, dtype=np.uint64)
+    acc = 1
+    b = base % MODULUS
+    for i in range(n):
+        out[i] = acc
+        acc = acc * b % MODULUS
+    return out
+
+
+def to_ints(a: np.ndarray) -> list:
+    """Convert a field vector to a list of Python ints."""
+    return [int(x) for x in a]

@@ -1,0 +1,43 @@
+"""Hashing substrate: SHA3 field hashing, Merkle trees, Fiat-Shamir."""
+
+from .fieldhash import (
+    DIGEST_BYTES,
+    ELEMENTS_PER_WORD,
+    elements_to_words,
+    hash_elements,
+    hash_pair,
+    sha3,
+)
+from .keccak import keccak_f1600
+from .keccak import sha3_256 as sha3_256_from_scratch
+from .merkle import (
+    MerkleMultiProof,
+    MerklePath,
+    MerkleTree,
+    open_many,
+    verify_column,
+    verify_many,
+    verify_path,
+)
+from .transcript import Transcript
+from . import poseidon
+
+__all__ = [
+    "DIGEST_BYTES",
+    "ELEMENTS_PER_WORD",
+    "elements_to_words",
+    "hash_elements",
+    "hash_pair",
+    "sha3",
+    "keccak_f1600",
+    "sha3_256_from_scratch",
+    "MerkleMultiProof",
+    "MerklePath",
+    "MerkleTree",
+    "open_many",
+    "verify_many",
+    "verify_column",
+    "verify_path",
+    "Transcript",
+    "poseidon",
+]

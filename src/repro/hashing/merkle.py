@@ -1,0 +1,180 @@
+"""Merkle tree commitments over field-element leaves (Sec. V-A).
+
+The prover packs field elements into leaves, hashes the largest layers in
+parallel on the Hash FU, and combines upward; the verifier checks opened
+leaves against the root with logarithmic-size authentication paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .fieldhash import DIGEST_BYTES, hash_elements, hash_pair
+
+_EMPTY_LEAF = b"\x00" * DIGEST_BYTES
+
+
+@dataclass
+class MerklePath:
+    """Authentication path for one leaf."""
+
+    index: int
+    siblings: List[bytes]
+
+    @property
+    def depth(self) -> int:
+        return len(self.siblings)
+
+    def size_bytes(self) -> int:
+        return len(self.siblings) * DIGEST_BYTES
+
+
+class MerkleTree:
+    """A binary Merkle tree over a list of leaf digests.
+
+    ``layers[0]`` is the (power-of-two padded) leaf layer; ``layers[-1]``
+    is a single root digest.
+    """
+
+    def __init__(self, leaf_digests: Sequence[bytes]):
+        if not leaf_digests:
+            raise ValueError("Merkle tree needs at least one leaf")
+        n = len(leaf_digests)
+        size = 1 if n == 1 else 1 << (n - 1).bit_length()
+        leaves = list(leaf_digests) + [_EMPTY_LEAF] * (size - n)
+        self.num_leaves = n
+        self.layers: List[List[bytes]] = [leaves]
+        current = leaves
+        while len(current) > 1:
+            current = [
+                hash_pair(current[i], current[i + 1]) for i in range(0, len(current), 2)
+            ]
+            self.layers.append(current)
+
+    @classmethod
+    def from_columns(cls, matrix: np.ndarray) -> "MerkleTree":
+        """Commit to the columns of a 2-D field matrix (one leaf per column).
+
+        This is how Orion commits to a Reed-Solomon-encoded coefficient
+        matrix: each codeword column becomes one leaf.
+        """
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        if matrix.ndim != 2:
+            raise ValueError("from_columns expects a 2-D matrix")
+        return cls([hash_elements(matrix[:, j]) for j in range(matrix.shape[1])])
+
+    @property
+    def root(self) -> bytes:
+        return self.layers[-1][0]
+
+    @property
+    def depth(self) -> int:
+        return len(self.layers) - 1
+
+    def open(self, index: int) -> MerklePath:
+        """Produce the authentication path for leaf ``index``."""
+        if not 0 <= index < self.num_leaves:
+            raise IndexError(f"leaf index {index} out of range")
+        siblings = []
+        i = index
+        for layer in self.layers[:-1]:
+            siblings.append(layer[i ^ 1])
+            i >>= 1
+        return MerklePath(index=index, siblings=siblings)
+
+    def total_hashes(self) -> int:
+        """Pair-hash operations performed building the tree (cost model hook)."""
+        return sum(len(layer) for layer in self.layers[1:])
+
+
+@dataclass
+class MerkleMultiProof:
+    """Batched opening of several leaves with shared internal nodes.
+
+    Orion opens 189 columns of one tree; sibling digests shared between
+    query paths need shipping only once.  ``nodes`` lists the sibling
+    digests in verification order (bottom layer upward, left to right).
+    """
+
+    indices: List[int]
+    nodes: List[bytes]
+
+    def size_bytes(self) -> int:
+        return len(self.nodes) * DIGEST_BYTES + 4 * len(self.indices)
+
+
+def open_many(tree: "MerkleTree", indices: Sequence[int]) -> MerkleMultiProof:
+    """Produce one multiproof covering all ``indices`` (deduplicated)."""
+    idxs = sorted(set(int(i) for i in indices))
+    for i in idxs:
+        if not 0 <= i < tree.num_leaves:
+            raise IndexError(f"leaf index {i} out of range")
+    nodes: List[bytes] = []
+    frontier = set(idxs)
+    for layer in tree.layers[:-1]:
+        next_frontier = set()
+        for i in sorted(frontier):
+            sibling = i ^ 1
+            # Ship the sibling only if the verifier cannot derive it.
+            if sibling not in frontier:
+                nodes.append(layer[sibling])
+            next_frontier.add(i // 2)
+        frontier = next_frontier
+    return MerkleMultiProof(indices=idxs, nodes=nodes)
+
+
+def verify_many(root: bytes, leaf_digests: Sequence[bytes],
+                proof: MerkleMultiProof, num_leaves: int) -> bool:
+    """Check a multiproof: ``leaf_digests[k]`` sits at ``proof.indices[k]``.
+
+    Reconstructs the tree frontier layer by layer, consuming shipped
+    sibling nodes exactly in :func:`open_many`'s order.
+    """
+    if len(leaf_digests) != len(proof.indices):
+        return False
+    if sorted(proof.indices) != list(proof.indices):
+        return False
+    size = 1 if num_leaves == 1 else 1 << (num_leaves - 1).bit_length()
+    known = dict(zip(proof.indices, leaf_digests))
+    nodes = iter(proof.nodes)
+    try:
+        while size > 1:
+            next_known = {}
+            for i in sorted(known):
+                if i // 2 in next_known:
+                    continue
+                sibling = i ^ 1
+                if sibling in known:
+                    sib_digest = known[sibling]
+                else:
+                    sib_digest = next(nodes)
+                left, right = (known[i], sib_digest) if i % 2 == 0                     else (sib_digest, known[i])
+                next_known[i // 2] = hash_pair(left, right)
+            known = next_known
+            size //= 2
+    except StopIteration:
+        return False
+    if next(nodes, None) is not None:
+        return False  # trailing unused nodes
+    return known.get(0) == root
+
+
+def verify_path(root: bytes, leaf_digest: bytes, path: MerklePath) -> bool:
+    """Check that ``leaf_digest`` sits at ``path.index`` under ``root``."""
+    acc = leaf_digest
+    i = path.index
+    for sibling in path.siblings:
+        if i & 1:
+            acc = hash_pair(sibling, acc)
+        else:
+            acc = hash_pair(acc, sibling)
+        i >>= 1
+    return acc == root
+
+
+def verify_column(root: bytes, column: np.ndarray, path: MerklePath) -> bool:
+    """Verify an opened matrix column against a column-committed tree."""
+    return verify_path(root, hash_elements(column), path)

@@ -1,0 +1,151 @@
+"""A Poseidon-style arithmetization-friendly hash over Goldilocks.
+
+Hash-based ZKP deployments pair a fast binary hash (SHA3, which NoCap's
+Hash FU implements) with a *field-friendly* hash for statements that must
+verify hashes **inside** a circuit — Merkle membership, commitments to
+secret data, signatures of signed images (the paper's photo-modification
+use case).  SHA3 costs tens of thousands of R1CS constraints per call;
+a Poseidon permutation costs a few hundred.
+
+This is a faithfully-shaped instance (x^7 S-box, RF full + RP partial
+rounds, MDS-style mixing, SHA3-derived round constants) intended for the
+reproduction; it has not been cryptanalyzed — production systems should
+use a standardized parameter set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Iterable, List, Sequence
+
+from ..field.goldilocks import MODULUS
+
+#: State width (rate 2 + capacity 1): a 2-to-1 compression per permutation.
+WIDTH = 3
+#: Full rounds (S-box on the whole state) and partial rounds (one S-box).
+FULL_ROUNDS = 8
+PARTIAL_ROUNDS = 22
+#: S-box exponent; gcd(7, p - 1) = 1 so x^7 permutes GF(p).
+ALPHA = 7
+
+#: Mixing matrix: I + J (all-ones) + diag(1,1,1) -> [[2,1,1],[1,2,1],[1,1,2]].
+#: Cheap to apply (one state sum plus adds) and invertible over GF(p).
+MDS = ((2, 1, 1), (1, 2, 1), (1, 1, 2))
+
+
+def _derive_round_constants() -> List[List[int]]:
+    """Nothing-up-my-sleeve constants from a SHA3 stream."""
+    constants = []
+    counter = 0
+    total_rounds = FULL_ROUNDS + PARTIAL_ROUNDS
+    while len(constants) < total_rounds:
+        row = []
+        while len(row) < WIDTH:
+            digest = hashlib.sha3_256(
+                b"poseidon-goldilocks" + struct.pack("<Q", counter)).digest()
+            counter += 1
+            for off in range(0, 32, 8):
+                candidate = struct.unpack("<Q", digest[off : off + 8])[0]
+                if candidate < MODULUS and len(row) < WIDTH:
+                    row.append(candidate)
+        constants.append(row)
+    return constants
+
+
+ROUND_CONSTANTS = _derive_round_constants()
+
+
+def _sbox(x: int) -> int:
+    return pow(x, ALPHA, MODULUS)
+
+
+def _mix(state: Sequence[int]) -> List[int]:
+    total = sum(state) % MODULUS
+    return [(total + s) % MODULUS for s in state]
+
+
+def permutation(state: Sequence[int]) -> List[int]:
+    """The Poseidon permutation on a WIDTH-element state."""
+    if len(state) != WIDTH:
+        raise ValueError(f"state must have {WIDTH} elements")
+    s = [x % MODULUS for x in state]
+    half_full = FULL_ROUNDS // 2
+    rounds = ROUND_CONSTANTS
+    r = 0
+    for _ in range(half_full):
+        s = [(x + c) % MODULUS for x, c in zip(s, rounds[r])]
+        s = [_sbox(x) for x in s]
+        s = _mix(s)
+        r += 1
+    for _ in range(PARTIAL_ROUNDS):
+        s = [(x + c) % MODULUS for x, c in zip(s, rounds[r])]
+        s[0] = _sbox(s[0])
+        s = _mix(s)
+        r += 1
+    for _ in range(half_full):
+        s = [(x + c) % MODULUS for x, c in zip(s, rounds[r])]
+        s = [_sbox(x) for x in s]
+        s = _mix(s)
+        r += 1
+    return s
+
+
+def hash2(a: int, b: int) -> int:
+    """2-to-1 compression: the Merkle-tree primitive."""
+    return permutation([a % MODULUS, b % MODULUS, 0])[0]
+
+
+def hash_many(values: Iterable[int]) -> int:
+    """Sponge-style absorption of an arbitrary-length message (rate 2)."""
+    state = [0, 0, 0]
+    buf = []
+    count = 0
+    for v in values:
+        buf.append(v % MODULUS)
+        count += 1
+        if len(buf) == 2:
+            state[0] = (state[0] + buf[0]) % MODULUS
+            state[1] = (state[1] + buf[1]) % MODULUS
+            state = permutation(state)
+            buf = []
+    # Pad with the element count to distinguish lengths.
+    state[0] = (state[0] + (buf[0] if buf else 0)) % MODULUS
+    state[1] = (state[1] + count + 1) % MODULUS
+    state = permutation(state)
+    return state[0]
+
+
+def merkle_root(leaves: Sequence[int]) -> int:
+    """Poseidon Merkle root over a power-of-two list of field elements."""
+    n = len(leaves)
+    if n == 0 or n & (n - 1):
+        raise ValueError("leaf count must be a power of two")
+    layer = [v % MODULUS for v in leaves]
+    while len(layer) > 1:
+        layer = [hash2(layer[i], layer[i + 1]) for i in range(0, len(layer), 2)]
+    return layer[0]
+
+
+def merkle_path(leaves: Sequence[int], index: int) -> List[int]:
+    """Sibling values from leaf ``index`` up to the root."""
+    n = len(leaves)
+    if not 0 <= index < n:
+        raise IndexError("leaf index out of range")
+    layer = [v % MODULUS for v in leaves]
+    path = []
+    i = index
+    while len(layer) > 1:
+        path.append(layer[i ^ 1])
+        layer = [hash2(layer[j], layer[j + 1]) for j in range(0, len(layer), 2)]
+        i //= 2
+    return path
+
+
+def merkle_verify(root: int, leaf: int, index: int, path: Sequence[int]) -> bool:
+    acc = leaf % MODULUS
+    i = index
+    for sib in path:
+        acc = hash2(sib, acc) if i & 1 else hash2(acc, sib)
+        i //= 2
+    return acc == root % MODULUS

@@ -1,0 +1,41 @@
+"""Multilinear extensions and the sumcheck protocol."""
+
+from .listing1 import final_challenge_point, sumcheck_dp, verify_sumcheck_dp
+from .mle import (
+    combine_rows,
+    eq_eval,
+    eq_table,
+    fold,
+    hypercube_sum,
+    mle_eval,
+    num_vars,
+    tensor_split_eval,
+)
+from .sumcheck import (
+    SumcheckProof,
+    SumcheckResult,
+    prove_sumcheck,
+    sumcheck_cost,
+    verify_sumcheck,
+    verify_sumcheck_rounds,
+)
+
+__all__ = [
+    "final_challenge_point",
+    "sumcheck_dp",
+    "verify_sumcheck_dp",
+    "combine_rows",
+    "eq_eval",
+    "eq_table",
+    "fold",
+    "hypercube_sum",
+    "mle_eval",
+    "num_vars",
+    "tensor_split_eval",
+    "SumcheckProof",
+    "SumcheckResult",
+    "prove_sumcheck",
+    "sumcheck_cost",
+    "verify_sumcheck",
+    "verify_sumcheck_rounds",
+]

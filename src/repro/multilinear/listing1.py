@@ -1,0 +1,86 @@
+"""Listing 1 from the paper, verbatim: the sumcheck dynamic-programming
+algorithm for proving sum_{b in {0,1}^L} A(b).
+
+Kept as a faithful reference implementation (including the in-place DP
+array update and the HASH-derived challenges) and cross-checked against
+the generic vectorized prover in :mod:`repro.multilinear.sumcheck` by the
+test suite.  NoCap's key sumcheck optimization — recomputing the DP array
+from the compressed circuit instead of streaming it (Sec. V-A) — changes
+*where* A's entries come from, not this control structure.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Tuple
+
+from ..field.goldilocks import MODULUS
+
+
+def _hash_to_field(values: List[int]) -> int:
+    """rx[i] = HASH(result[i]) with rejection sampling into GF(p)."""
+    data = b"".join(struct.pack("<Q", v % MODULUS) for v in values)
+    counter = 0
+    while True:
+        digest = hashlib.sha3_256(data + struct.pack("<Q", counter)).digest()
+        candidate = struct.unpack("<Q", digest[:8])[0]
+        if candidate < MODULUS:
+            return candidate
+        counter += 1
+
+
+def sumcheck_dp(a: List[int]) -> Tuple[List[List[int]], List[int]]:
+    """The paper's Listing 1: prove the value of sum_b A(b).
+
+    Returns (result, rx): result[i] = [y0, y1] are the round-i partial
+    sums; rx[i] is the round-i challenge.  Indices follow the listing
+    (1-based rounds stored 0-based here).
+    """
+    a = [v % MODULUS for v in a]
+    n = len(a)
+    if n == 0 or n & (n - 1):
+        raise ValueError("array length must be a power of two")
+    big_l = n.bit_length() - 1
+
+    result: List[List[int]] = []
+    rx: List[int] = []
+    for i in range(1, big_l + 1):
+        s = 1 << (big_l - i)
+        y0 = 0
+        y1 = 0
+        for b in range(s):
+            if i > 1:
+                r_prev = rx[i - 2]
+                one_minus = (1 - r_prev) % MODULUS
+                a[b] = (a[b] * one_minus + a[b + 2 * s] * r_prev) % MODULUS
+                a[b + s] = (a[b + s] * one_minus + a[b + 3 * s] * r_prev) % MODULUS
+            y0 = (y0 + a[b]) % MODULUS
+            y1 = (y1 + a[b + s]) % MODULUS
+        result.append([y0, y1])
+        rx.append(_hash_to_field(result[-1]))
+    return result, rx
+
+
+def verify_sumcheck_dp(claim: int, result: List[List[int]],
+                       final_value: int) -> bool:
+    """Verify a Listing-1 transcript against the claimed hypercube sum.
+
+    ``final_value`` is A evaluated at the challenge point (rx), which the
+    verifier obtains from an oracle (in Spartan+Orion, from the PCS).
+    """
+    current = claim % MODULUS
+    rx: List[int] = []
+    for y0, y1 in result:
+        if (y0 + y1) % MODULUS != current:
+            return False
+        r = _hash_to_field([y0, y1])
+        rx.append(r)
+        # degree-1 round polynomial: g(r) = y0 + r*(y1 - y0)
+        current = (y0 + r * (y1 - y0)) % MODULUS
+    return current == final_value % MODULUS
+
+
+def final_challenge_point(result: List[List[int]]) -> List[int]:
+    """Recompute the challenge vector rx from a Listing-1 transcript."""
+    return [_hash_to_field(pair) for pair in result]

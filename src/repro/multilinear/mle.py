@@ -1,0 +1,108 @@
+"""Multilinear extensions (MLEs) over the boolean hypercube.
+
+A length-2^L vector is read as the evaluation table of an L-variate
+multilinear polynomial: index i holds the value at the point whose bit
+pattern is i (Sec. V-A, "Sumcheck DP algorithm").  Convention: variable 0
+binds the MOST significant bit, matching Listing 1's fold order (round i
+combines entries b and b + 2^(L-i)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..field import vector as fv
+from ..field.goldilocks import MODULUS
+
+
+def num_vars(table: np.ndarray) -> int:
+    n = len(table)
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"MLE table length must be a power of two, got {n}")
+    return n.bit_length() - 1
+
+
+def fold(table: np.ndarray, r: int) -> np.ndarray:
+    """Bind the top variable to r: out[b] = (1-r)*bottom[b] + r*top[b].
+
+    The output is the MLE table of the remaining L-1 variables.
+    """
+    table = np.asarray(table, dtype=np.uint64)
+    half = len(table) // 2
+    bottom, top = table[:half], table[half:]
+    # bottom + r * (top - bottom)
+    return fv.add(bottom, fv.mul_scalar(fv.sub(top, bottom), r))
+
+
+def mle_eval(table: np.ndarray, point: Sequence[int]) -> int:
+    """Evaluate the MLE of ``table`` at ``point`` (len(point) variables)."""
+    table = np.asarray(table, dtype=np.uint64)
+    if len(table) != 1 << len(point):
+        raise ValueError("point dimension does not match table size")
+    for r in point:
+        table = fold(table, int(r))
+    return int(table[0])
+
+
+def eq_table(point: Sequence[int]) -> np.ndarray:
+    """Evaluation table of eq(point, .): out[b] = prod_i eq(point_i, b_i).
+
+    eq(r, b) = r*b + (1-r)*(1-b).  Built by iterative doubling: O(2^L)
+    multiplies, which is also what the cost model charges.
+    """
+    table = np.ones(1, dtype=np.uint64)
+    for r in point:
+        r = int(r) % MODULUS
+        hi = fv.mul_scalar(table, r)
+        lo = fv.sub(table, hi)  # table * (1 - r)
+        new = np.empty(2 * len(table), dtype=np.uint64)
+        # Earlier variables are more significant bits, so each newly bound
+        # variable becomes the least significant: interleave lo/hi.
+        new[0::2] = lo
+        new[1::2] = hi
+        table = new
+    return table
+
+
+def eq_eval(a: Sequence[int], b: Sequence[int]) -> int:
+    """eq(a, b) = prod_i (a_i b_i + (1-a_i)(1-b_i))."""
+    if len(a) != len(b):
+        raise ValueError("eq_eval needs equal-length points")
+    acc = 1
+    for x, y in zip(a, b):
+        x, y = int(x) % MODULUS, int(y) % MODULUS
+        term = (x * y + (1 - x) * (1 - y)) % MODULUS
+        acc = acc * term % MODULUS
+    return acc
+
+
+def hypercube_sum(table: np.ndarray) -> int:
+    """Sum of the MLE over the boolean hypercube = sum of the table."""
+    return fv.vsum(np.asarray(table, dtype=np.uint64))
+
+
+def tensor_split_eval(table: np.ndarray, row_point: Sequence[int],
+                      col_point: Sequence[int]) -> int:
+    """Evaluate viewing the table as a (2^|row|, 2^|col|) matrix:
+    value = row_eq^T M col_eq.  This is the Orion PCS evaluation identity."""
+    rows = 1 << len(row_point)
+    cols = 1 << len(col_point)
+    mat = np.asarray(table, dtype=np.uint64).reshape(rows, cols)
+    r = eq_table(row_point)
+    c = eq_table(col_point)
+    u = combine_rows(mat, r)
+    return fv.dot(u, c)
+
+
+def combine_rows(matrix: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
+    """Return coeffs^T @ matrix over GF(p) (random row combination)."""
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    if matrix.shape[0] != len(coeffs):
+        raise ValueError("coefficient count must equal row count")
+    acc = np.zeros(matrix.shape[1], dtype=np.uint64)
+    for i in range(matrix.shape[0]):
+        acc = fv.add(acc, fv.mul_scalar(matrix[i], int(coeffs[i])))
+    return acc

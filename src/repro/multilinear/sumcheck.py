@@ -1,0 +1,181 @@
+"""The sumcheck protocol for products of multilinear polynomials.
+
+This is the kernel NoCap spends ~70% of its time on (Fig. 6a).  The prover
+convinces the verifier that  sum_{b in {0,1}^L} prod_j P_j(b) = claim,
+one variable per round, sending a degree-k univariate polynomial each
+round (as k+1 evaluations) and folding the tables by the verifier's
+challenge — the dynamic-programming structure of Listing 1 generalized to
+products (Spartan's first sumcheck has k = 3).
+
+Fiat-Shamir makes it non-interactive; 128-bit soundness over the 64-bit
+Goldilocks field is obtained by running independent repetitions
+(Sec. VII-A: "we run all sumchecks 3 times").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..field import vector as fv
+from ..field.goldilocks import MODULUS
+from ..field.poly import interpolate_eval
+from ..hashing.transcript import Transcript
+from .mle import fold
+
+
+@dataclass
+class SumcheckProof:
+    """Round polynomials (each as evaluations at t = 0..degree) plus the
+    prover's claimed factor values at the final random point."""
+
+    round_evals: List[List[int]]
+    final_values: List[int]
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.round_evals)
+
+    def size_bytes(self) -> int:
+        return 8 * (sum(len(r) for r in self.round_evals) + len(self.final_values))
+
+
+@dataclass
+class SumcheckResult:
+    """Verifier-side outcome: accept/reject plus the reduced claim."""
+
+    ok: bool
+    challenges: List[int]
+    final_claim: int
+    reason: str = ""
+
+
+def prove_sumcheck(tables: Sequence[np.ndarray], transcript: Transcript,
+                   label: bytes = b"sumcheck") -> Tuple[SumcheckProof, List[int]]:
+    """Run the prover for sum over the hypercube of prod_j tables[j].
+
+    Returns the proof and the challenge vector (for chaining into later
+    protocol steps).  Tables are not modified.
+    """
+    tables = [np.asarray(t, dtype=np.uint64).copy() for t in tables]
+    n = len(tables[0])
+    if any(len(t) != n for t in tables):
+        raise ValueError("all factor tables must have equal length")
+    if n == 0 or n & (n - 1):
+        raise ValueError("table length must be a power of two")
+    num_rounds = n.bit_length() - 1
+    degree = len(tables)
+
+    round_evals: List[List[int]] = []
+    challenges: List[int] = []
+    for rnd in range(num_rounds):
+        half = len(tables[0]) // 2
+        evals = []
+        for t_val in range(degree + 1):
+            prod = None
+            for table in tables:
+                bottom, top = table[:half], table[half:]
+                # value of the factor at (t, b) = bottom + t*(top - bottom)
+                if t_val == 0:
+                    vals = bottom
+                elif t_val == 1:
+                    vals = top
+                else:
+                    vals = fv.add(bottom, fv.mul_scalar(fv.sub(top, bottom), t_val))
+                prod = vals if prod is None else fv.mul(prod, vals)
+            evals.append(fv.vsum(prod))
+        transcript.absorb_fields(label + b"/round%d" % rnd, evals)
+        r = transcript.challenge_field(label + b"/r%d" % rnd)
+        challenges.append(r)
+        tables = [fold(t, r) for t in tables]
+        round_evals.append(evals)
+
+    final_values = [int(t[0]) for t in tables]
+    transcript.absorb_fields(label + b"/final", final_values)
+    return SumcheckProof(round_evals, final_values), challenges
+
+
+def verify_sumcheck_rounds(claim: int, round_evals: Sequence[Sequence[int]],
+                           degree: int, transcript: Transcript,
+                           label: bytes = b"sumcheck") -> SumcheckResult:
+    """Check round-polynomial consistency only, reducing ``claim`` to a
+    claimed evaluation at the random point.  The caller finishes the proof
+    by checking that reduced claim against oracles (MLE evaluations, PCS
+    openings, or a composite expression as in Spartan's first sumcheck).
+    """
+    current = claim % MODULUS
+    challenges: List[int] = []
+    xs = list(range(degree + 1))
+    for rnd, evals in enumerate(round_evals):
+        if len(evals) != degree + 1:
+            return SumcheckResult(False, challenges, 0,
+                                  f"round {rnd}: wrong evaluation count")
+        if (evals[0] + evals[1]) % MODULUS != current:
+            return SumcheckResult(False, challenges, 0,
+                                  f"round {rnd}: g(0)+g(1) != claim")
+        transcript.absorb_fields(label + b"/round%d" % rnd, evals)
+        r = transcript.challenge_field(label + b"/r%d" % rnd)
+        challenges.append(r)
+        current = interpolate_eval(xs, evals, r)
+    return SumcheckResult(True, challenges, current)
+
+
+def verify_sumcheck(claim: int, proof: SumcheckProof, degree: int,
+                    transcript: Transcript,
+                    label: bytes = b"sumcheck") -> SumcheckResult:
+    """Verify round consistency and reduce the claim to a point evaluation.
+
+    On success, ``final_claim`` equals the claimed value of the product at
+    the challenge point; the caller must still check it against
+    ``proof.final_values`` (or an oracle/PCS opening of each factor).
+    """
+    rounds = verify_sumcheck_rounds(claim, proof.round_evals, degree,
+                                    transcript, label)
+    if not rounds.ok:
+        return rounds
+    challenges, current = rounds.challenges, rounds.final_claim
+
+    transcript.absorb_fields(label + b"/final", proof.final_values)
+    # The factor-product at the challenge point must match the reduced claim.
+    prod = 1
+    for v in proof.final_values:
+        prod = prod * (v % MODULUS) % MODULUS
+    if prod != current:
+        return SumcheckResult(False, challenges, current,
+                              "final product mismatch")
+    return SumcheckResult(True, challenges, current)
+
+
+def sumcheck_cost(n: int, degree: int):
+    """Operation counts of one sumcheck over a size-n table with
+    ``degree`` factors (performance-model hook).
+
+    Per round over m remaining entries: for each of (degree+1) sample
+    points and each factor, one mul + adds on m/2 entries, plus the
+    product across factors and the reduction sum.  Folding costs one mul
+    per entry per factor.  Traffic: each factor table is streamed once per
+    round (read) and half is written back.
+    """
+    from ..opcount import OpCount
+
+    cost = OpCount()
+    m = n
+    while m > 1:
+        half = m // 2
+        samples = degree + 1
+        # factor evaluations at the sample points (t=0,1 are free reads)
+        cost.mul += (samples - 2) * degree * half
+        cost.add += (samples - 2) * degree * half * 2
+        # cross-factor products and accumulation
+        cost.mul += samples * (degree - 1) * half
+        cost.add += samples * half
+        # folding each factor table
+        cost.mul += degree * half
+        cost.add += degree * half * 2
+        # traffic: read all factor tables, write back folded halves
+        cost.mem_read_bytes += degree * m * 8
+        cost.mem_write_bytes += degree * half * 8
+        m = half
+    return cost

@@ -1,0 +1,40 @@
+"""The NoCap accelerator model: configuration, ISA, scheduler, task-level
+simulator, area/power models, and design-space exploration."""
+
+from .area import AreaBreakdown, area_model
+from .benes import BenesRouting, apply_routing
+from .benes import permute as benes_permute
+from .benes import route as benes_route
+from .config import DEFAULT_CONFIG, NoCapConfig
+from .designspace import (
+    DesignPoint,
+    SensitivityPoint,
+    design_space_sweep,
+    gmean_prover_seconds,
+    pareto_frontier,
+    sensitivity_sweep,
+)
+from .isa import Instruction, Opcode, Program
+from .linker import link_prover_program, simulate_linked_prover
+from .multiaccelerator import RackOperatingPoint, rack_scale, scaling_curve
+from .permutations import grouped_interleave, wide_rotate
+from .power import PowerBreakdown, power_model
+from .scheduler import Schedule, schedule_program
+from .simulator import NoCapSimulator, SimulationReport, prover_seconds
+from .tasks import TaskCost, build_prover_tasks
+
+__all__ = [
+    "AreaBreakdown", "area_model",
+    "BenesRouting", "apply_routing", "benes_permute", "benes_route",
+    "RackOperatingPoint", "rack_scale", "scaling_curve",
+    "grouped_interleave", "wide_rotate",
+    "DEFAULT_CONFIG", "NoCapConfig",
+    "DesignPoint", "SensitivityPoint", "design_space_sweep",
+    "gmean_prover_seconds", "pareto_frontier", "sensitivity_sweep",
+    "Instruction", "Opcode", "Program",
+    "link_prover_program", "simulate_linked_prover",
+    "PowerBreakdown", "power_model",
+    "Schedule", "schedule_program",
+    "NoCapSimulator", "SimulationReport", "prover_seconds",
+    "TaskCost", "build_prover_tasks",
+]

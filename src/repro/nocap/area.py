@@ -1,0 +1,70 @@
+"""Area model (Table II): 14nm component areas and their scaling.
+
+Reference areas come from the paper's RTL synthesis (Table II); scaling
+with configuration follows first-order rules — FU area proportional to
+lane count, register file to capacity, memory PHY to bandwidth — which is
+how the design-space sweep (Fig. 8) prices candidate configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from . import constants as C
+from .config import DEFAULT_CONFIG, NoCapConfig
+
+
+@dataclass
+class AreaBreakdown:
+    """Component areas in mm^2 (Table II rows)."""
+
+    ntt_fu: float
+    mul_fu: float
+    add_fu: float
+    hash_fu: float
+    register_file: float
+    benes: float
+    memory_phy: float
+
+    @property
+    def total_compute(self) -> float:
+        return self.ntt_fu + self.mul_fu + self.add_fu + self.hash_fu
+
+    @property
+    def total_memory_system(self) -> float:
+        return self.register_file + self.benes + self.memory_phy
+
+    @property
+    def total(self) -> float:
+        return self.total_compute + self.total_memory_system
+
+    def as_table(self) -> Dict[str, float]:
+        return {
+            "NTT FU": self.ntt_fu,
+            "Multiply FU": self.mul_fu,
+            "Add FU": self.add_fu,
+            "Hash FU": self.hash_fu,
+            "Total Compute": self.total_compute,
+            "Reg. file (2,048 x 4 KB banks)": self.register_file,
+            "Benes network": self.benes,
+            "Memory interface (2 x PHY)": self.memory_phy,
+            "Total memory system": self.total_memory_system,
+            "Total NoCap": self.total,
+        }
+
+
+def area_model(config: NoCapConfig = DEFAULT_CONFIG) -> AreaBreakdown:
+    """Area of a NoCap configuration, scaled from the Table II reference."""
+    ref = DEFAULT_CONFIG
+    return AreaBreakdown(
+        ntt_fu=C.AREA_NTT_FU * config.ntt_lanes / ref.ntt_lanes,
+        mul_fu=C.AREA_MUL_FU * config.mul_lanes / ref.mul_lanes,
+        add_fu=C.AREA_ADD_FU * config.add_lanes / ref.add_lanes,
+        hash_fu=C.AREA_HASH_FU * config.hash_lanes / ref.hash_lanes,
+        register_file=(C.AREA_REGISTER_FILE
+                       * config.register_file_bytes / ref.register_file_bytes),
+        benes=C.AREA_BENES * config.shuffle_lanes / ref.shuffle_lanes,
+        memory_phy=(C.AREA_MEM_PHY
+                    * config.hbm_bytes_per_s / ref.hbm_bytes_per_s),
+    )

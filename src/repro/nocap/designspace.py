@@ -1,0 +1,115 @@
+"""Design-space exploration: the Fig. 7 sensitivity study and the Fig. 8
+area-performance Pareto sweep.
+
+Fig. 7 sweeps the throughput of each hardware building block individually
+(hash FU, arithmetic FUs, NTT FU, HBM bandwidth, register-file size)
+around the chosen design point and reports gmean performance over the
+benchmark suite.  Fig. 8 sweeps whole configurations, prices them with
+the area model, and extracts the Pareto frontier for 1 TB/s and 2 TB/s
+HBM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import List, Optional, Sequence
+
+from ..ntt.polymul import next_pow2
+from .area import area_model
+from .config import DEFAULT_CONFIG, NoCapConfig
+from .simulator import NoCapSimulator
+
+#: Fig. 7 x-axis: relative scaling factors applied to one resource at a time.
+SENSITIVITY_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+#: Fig. 7 series: the resources swept.
+SENSITIVITY_RESOURCES = ("arith", "hash", "ntt", "hbm", "rf")
+
+
+def _gmean(values: Sequence[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def gmean_prover_seconds(config: NoCapConfig,
+                         workload_sizes: Optional[Sequence[int]] = None) -> float:
+    """Geometric-mean proving time over the benchmark suite."""
+    if workload_sizes is None:
+        from ..workloads.spec import PAPER_WORKLOADS
+
+        workload_sizes = [w.raw_constraints for w in PAPER_WORKLOADS]
+    sim = NoCapSimulator(config)
+    times = [sim.simulate(next_pow2(n)).total_seconds for n in workload_sizes]
+    return _gmean(times)
+
+
+@dataclass
+class SensitivityPoint:
+    resource: str
+    factor: float
+    gmean_seconds: float
+    relative_performance: float  # vs the default configuration (higher = better)
+
+
+def sensitivity_sweep(base: NoCapConfig = DEFAULT_CONFIG,
+                      resources: Sequence[str] = SENSITIVITY_RESOURCES,
+                      factors: Sequence[float] = SENSITIVITY_FACTORS,
+                      workload_sizes: Optional[Sequence[int]] = None,
+                      ) -> List[SensitivityPoint]:
+    """Reproduce Fig. 7: scale each resource individually."""
+    baseline = gmean_prover_seconds(base, workload_sizes)
+    points = []
+    for resource in resources:
+        for factor in factors:
+            cfg = base.scale(**{resource: factor})
+            t = gmean_prover_seconds(cfg, workload_sizes)
+            points.append(SensitivityPoint(
+                resource=resource, factor=factor, gmean_seconds=t,
+                relative_performance=baseline / t))
+    return points
+
+
+@dataclass
+class DesignPoint:
+    config: NoCapConfig
+    area_mm2: float
+    gmean_seconds: float
+
+    @property
+    def performance(self) -> float:
+        return 1.0 / self.gmean_seconds
+
+
+def design_space_sweep(hbm_bytes_per_s: float = 1e12,
+                       arith_factors: Sequence[float] = (0.25, 0.5, 1.0, 2.0),
+                       ntt_factors: Sequence[float] = (0.5, 1.0, 2.0),
+                       hash_factors: Sequence[float] = (0.5, 1.0, 2.0),
+                       rf_factors: Sequence[float] = (0.5, 1.0, 2.0),
+                       workload_sizes: Optional[Sequence[int]] = None,
+                       ) -> List[DesignPoint]:
+    """Reproduce one Fig. 8 scatter: all combinations of FU/RF scalings at
+    a fixed HBM bandwidth, priced by the area model."""
+    points = []
+    base = NoCapConfig(hbm_bytes_per_s=hbm_bytes_per_s)
+    for fa, fn, fh, fr in product(arith_factors, ntt_factors, hash_factors,
+                                  rf_factors):
+        cfg = base.scale(arith=fa, ntt=fn, hash=fh, rf=fr)
+        points.append(DesignPoint(
+            config=cfg,
+            area_mm2=area_model(cfg).total,
+            gmean_seconds=gmean_prover_seconds(cfg, workload_sizes)))
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Points not dominated in (area, time): smaller is better in both."""
+    frontier = []
+    for p in points:
+        dominated = any(q.area_mm2 <= p.area_mm2 and
+                        q.gmean_seconds < p.gmean_seconds or
+                        q.area_mm2 < p.area_mm2 and
+                        q.gmean_seconds <= p.gmean_seconds
+                        for q in points)
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda p: p.area_mm2)

@@ -1,0 +1,121 @@
+"""NoCap's vector ISA (Sec. IV-A) as macro-operations.
+
+Each instruction operates on a k-element vector (k a power of two from
+2^7 to 2^16).  Compute opcodes map one-to-one to the functional units;
+LOAD/STORE move vectors between HBM and the register file; DELAY and
+BRANCH are the two control instructions of the distributed-control
+scheme.  The static scheduler (:mod:`repro.nocap.scheduler`) executes
+these with fixed, compiler-visible latencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+MIN_VECTOR = 1 << 7
+MAX_VECTOR = 1 << 16
+
+
+class Opcode(enum.Enum):
+    VLOAD = "vload"     # HBM -> register file
+    VSTORE = "vstore"   # register file -> HBM
+    VADD = "vadd"       # element-wise modular add
+    VMUL = "vmul"       # element-wise modular multiply
+    VHASH = "vhash"     # SHA3 over packed 256-bit words
+    VNTT = "vntt"       # forward/inverse NTT (<= 2^12 points per pass)
+    VSHUF = "vshuf"     # Benes-network permutation
+    DELAY = "delay"     # wait a fixed number of cycles
+    BRANCH = "branch"   # fixed-trip-count loop back-edge
+
+
+#: Which functional unit executes each compute opcode.
+FU_FOR_OPCODE = {
+    Opcode.VADD: "add",
+    Opcode.VMUL: "mul",
+    Opcode.VHASH: "hash",
+    Opcode.VSHUF: "shuffle",
+    Opcode.VNTT: "ntt",
+    Opcode.VLOAD: "mem",
+    Opcode.VSTORE: "mem",
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One macro-op over a ``length``-element vector.
+
+    ``dst`` and ``srcs`` name vector registers; LOAD/STORE also carry an
+    ``addr`` (HBM address, bytes).  The Benes control bits of a VSHUF and
+    the NTT direction are compile-time immediates (``imm``), as in the
+    paper's compile-time-routed shuffle network.
+    """
+
+    opcode: Opcode
+    length: int
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = ()
+    addr: Optional[int] = None
+    imm: Optional[int] = None
+
+    def __post_init__(self):
+        if self.opcode in (Opcode.DELAY, Opcode.BRANCH):
+            return
+        if self.length < 1 or self.length > MAX_VECTOR:
+            raise ValueError(f"vector length {self.length} out of range")
+
+    @property
+    def functional_unit(self) -> Optional[str]:
+        return FU_FOR_OPCODE.get(self.opcode)
+
+
+def vload(dst: str, addr: int, length: int) -> Instruction:
+    return Instruction(Opcode.VLOAD, length, dst=dst, addr=addr)
+
+
+def vstore(src: str, addr: int, length: int) -> Instruction:
+    return Instruction(Opcode.VSTORE, length, srcs=(src,), addr=addr)
+
+
+def vadd(dst: str, a: str, b: str, length: int) -> Instruction:
+    return Instruction(Opcode.VADD, length, dst=dst, srcs=(a, b))
+
+
+def vmul(dst: str, a: str, b: str, length: int) -> Instruction:
+    return Instruction(Opcode.VMUL, length, dst=dst, srcs=(a, b))
+
+
+def vhash(dst: str, a: str, b: str, length: int) -> Instruction:
+    return Instruction(Opcode.VHASH, length, dst=dst, srcs=(a, b))
+
+
+def vntt(dst: str, src: str, length: int, inverse: bool = False) -> Instruction:
+    return Instruction(Opcode.VNTT, length, dst=dst, srcs=(src,),
+                       imm=1 if inverse else 0)
+
+
+def vshuf(dst: str, src: str, length: int, route: int = 0) -> Instruction:
+    return Instruction(Opcode.VSHUF, length, dst=dst, srcs=(src,), imm=route)
+
+
+@dataclass
+class Program:
+    """A straight-line macro-op program (loops already unrolled, as the
+    compiler's fixed-trip-count branches allow)."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def append(self, ins: Instruction) -> None:
+        self.instructions.append(ins)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def registers(self) -> set:
+        regs = set()
+        for ins in self.instructions:
+            if ins.dst:
+                regs.add(ins.dst)
+            regs.update(ins.srcs)
+        return regs

@@ -1,0 +1,178 @@
+"""The task linker (Sec. VII "Modeled system"): composes parameterized
+task kernels into one macro-op program implementing the Spartan+Orion
+prover, "executed one at a time, following program order".
+
+Where :mod:`repro.nocap.tasks` charges aggregate costs, the linker emits
+the *instructions*: vector loads, NTT passes, hash sweeps, shuffle-aligned
+SpMV and sumcheck rounds — which the static scheduler
+(:mod:`repro.nocap.scheduler`) then timing-simulates cycle by cycle.
+This is tractable for on-chip-sized statements (up to ~2^16 constraints)
+and the test-suite cross-checks it against the task-level model there;
+paper-scale runs use the task model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .config import DEFAULT_CONFIG, NoCapConfig
+from .isa import MAX_VECTOR, Instruction, Opcode, Program
+from .scheduler import Schedule, schedule_program
+
+#: Largest macro-op vector the linker emits.
+_CHUNK = MAX_VECTOR
+
+
+def _chunks(total: int) -> List[int]:
+    """Split ``total`` elements into macro-op-sized vector lengths."""
+    out = []
+    remaining = total
+    while remaining > 0:
+        size = min(_CHUNK, remaining)
+        out.append(size)
+        remaining -= size
+    return out
+
+
+def link_spmv(program: Program, n: int, tag: str) -> None:
+    """Output-stationary SpMV: load x chunk, Benes-align, multiply by the
+    streamed matrix values, accumulate, store y chunk (Sec. V-A)."""
+    for k, size in enumerate(_chunks(n)):
+        x, vals = f"{tag}_x{k}", f"{tag}_v{k}"
+        program.append(Instruction(Opcode.VLOAD, size, dst=x, addr=8 * k * _CHUNK))
+        program.append(Instruction(Opcode.VLOAD, size, dst=vals,
+                                   addr=8 * (n + k * _CHUNK)))
+        program.append(Instruction(Opcode.VSHUF, min(size, 128),
+                                   dst=f"{tag}_a{k}", srcs=(x,)))
+        program.append(Instruction(Opcode.VMUL, size, dst=f"{tag}_p{k}",
+                                   srcs=(f"{tag}_a{k}", vals)))
+        program.append(Instruction(Opcode.VADD, size, dst=f"{tag}_y{k}",
+                                   srcs=(f"{tag}_p{k}", f"{tag}_p{k}")))
+        program.append(Instruction(Opcode.VSTORE, size,
+                                   srcs=(f"{tag}_y{k}",),
+                                   addr=8 * (2 * n + k * _CHUNK)))
+
+
+def link_rs_encode(program: Program, message_len: int, tag: str,
+                   base_size: int, blowup: int = 4) -> None:
+    """Reed-Solomon encode: zero-pad then four-step NTT passes of
+    base-kernel VNTTs (Sec. V-A)."""
+    codeword = blowup * message_len
+    passes = 1
+    length = codeword
+    while length > base_size:
+        passes += 1
+        length = (length + base_size - 1) // base_size
+    for p in range(passes):
+        for k, size in enumerate(_chunks(codeword)):
+            reg_in = f"{tag}_p{p}_c{k}"
+            program.append(Instruction(Opcode.VLOAD, size, dst=reg_in,
+                                       addr=8 * k * _CHUNK))
+            # One VNTT per base-size block within the chunk.
+            blocks = max(1, size // base_size)
+            for b in range(blocks):
+                program.append(Instruction(
+                    Opcode.VNTT, min(base_size, size),
+                    dst=f"{reg_in}_n{b}", srcs=(reg_in,)))
+            program.append(Instruction(Opcode.VSTORE, size,
+                                       srcs=(f"{reg_in}_n0",),
+                                       addr=8 * k * _CHUNK))
+
+
+def link_merkle(program: Program, leaves: int, tag: str) -> None:
+    """Merkle tree: hash each layer, interleave survivors (Sec. V-A)."""
+    layer = leaves
+    level = 0
+    prev: Optional[str] = None
+    while layer >= 2:
+        for k, size in enumerate(_chunks(layer)):
+            reg = f"{tag}_l{level}_c{k}"
+            if prev is None:
+                program.append(Instruction(Opcode.VLOAD, size, dst=reg,
+                                           addr=8 * k * _CHUNK))
+            else:
+                program.append(Instruction(Opcode.VSHUF, min(size, 128),
+                                           dst=reg, srcs=(prev,)))
+            program.append(Instruction(Opcode.VHASH, size,
+                                       dst=f"{tag}_h{level}_c{k}",
+                                       srcs=(reg, reg)))
+        prev = f"{tag}_h{level}_c0"
+        layer //= 2
+        level += 1
+    if prev is not None:
+        program.append(Instruction(Opcode.VSTORE, 128, srcs=(prev,), addr=0))
+
+
+def link_sumcheck(program: Program, n: int, degree: int, tag: str) -> None:
+    """All rounds of one sumcheck instance, Listing-1 style."""
+    size = n
+    rnd = 0
+    while size >= 2:
+        half = max(1, size // 2)
+        for k, chunk in enumerate(_chunks(half)):
+            base = f"{tag}_r{rnd}_c{k}"
+            for f in range(degree):
+                program.append(Instruction(Opcode.VLOAD, chunk,
+                                           dst=f"{base}_b{f}", addr=8 * f * n))
+                program.append(Instruction(Opcode.VLOAD, chunk,
+                                           dst=f"{base}_t{f}",
+                                           addr=8 * (f * n + half)))
+            prod = None
+            for t in range(degree + 1):
+                for f in range(degree):
+                    s = f"{base}_s{t}_{f}"
+                    program.append(Instruction(Opcode.VADD, chunk, dst=f"{base}_d{t}_{f}",
+                                               srcs=(f"{base}_t{f}", f"{base}_b{f}")))
+                    program.append(Instruction(Opcode.VMUL, chunk, dst=s,
+                                               srcs=(f"{base}_d{t}_{f}",
+                                                     f"{base}_d{t}_{f}")))
+                    prod = s if prod is None else prod
+            # reduction + fold
+            program.append(Instruction(Opcode.VSHUF, min(chunk, 128),
+                                       dst=f"{base}_red", srcs=(prod,)))
+            program.append(Instruction(Opcode.VADD, chunk, dst=f"{base}_sum",
+                                       srcs=(f"{base}_red", prod)))
+            program.append(Instruction(Opcode.VHASH, 128, dst=f"{base}_fs",
+                                       srcs=(f"{base}_sum", f"{base}_sum")))
+            for f in range(degree):
+                program.append(Instruction(Opcode.VMUL, chunk,
+                                           dst=f"{base}_fold{f}",
+                                           srcs=(f"{base}_t{f}", f"{base}_b{f}")))
+                program.append(Instruction(Opcode.VSTORE, chunk,
+                                           srcs=(f"{base}_fold{f}",),
+                                           addr=8 * f * n))
+        size = half
+        rnd += 1
+
+
+def link_prover_program(n: int, config: Optional[NoCapConfig] = None,
+                        repetitions: int = 1) -> Program:
+    """Compose the full prover for an on-chip-sized 2^L = n statement.
+
+    Tasks follow program order (SpMV, commit, sumchecks, poly arith),
+    matching the serial task execution of Sec. V.
+    """
+    cfg = config or DEFAULT_CONFIG
+    if n & (n - 1):
+        raise ValueError("n must be a power of two")
+    if n > (1 << 16):
+        raise ValueError("the linker targets on-chip statements (<= 2^16); "
+                         "use the task-level model for larger runs")
+    program = Program()
+    for m in ("A", "B", "C"):
+        link_spmv(program, n, f"spmv{m}")
+    link_rs_encode(program, n, "rs", cfg.ntt_base_size)
+    link_merkle(program, 4 * n, "mk")
+    for rep in range(repetitions):
+        link_sumcheck(program, n, 3, f"sc1r{rep}")
+        link_sumcheck(program, n, 2, f"sc2r{rep}")
+    link_rs_encode(program, n, "poly", cfg.ntt_base_size)
+    return program
+
+
+def simulate_linked_prover(n: int, config: Optional[NoCapConfig] = None,
+                           repetitions: int = 1) -> Tuple[Program, Schedule]:
+    """Link and statically schedule the prover; returns both artifacts."""
+    cfg = config or DEFAULT_CONFIG
+    program = link_prover_program(n, cfg, repetitions)
+    return program, schedule_program(program, cfg)

@@ -1,0 +1,101 @@
+"""Rack-scale multi-accelerator projection (Sec. X "Conclusion and
+Future Work").
+
+The paper closes by observing that recursive/incremental/folding proofs
+would let "large proofs be parallelized across many accelerators, with
+little communication among them, which would enable rack-scale ZKP
+accelerator systems."  This module models that extension on top of the
+single-chip simulator:
+
+* a statement of N constraints is split into S shards;
+* each shard is proven independently on its own NoCap (embarrassingly
+  parallel — folding schemes need only tiny cross-shard messages);
+* one aggregation proof, sized ``aggregation_overhead`` x a shard,
+  combines the shard proofs (run on one accelerator after the shards).
+
+Because NoCap's per-proof time is mildly *superlinear* in padded size
+(register-file spill rounds grow with log N), sharding is better than
+linear: S accelerators give more than S-fold speedup until the
+aggregation step and padding overheads dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..ntt.polymul import next_pow2
+from .config import DEFAULT_CONFIG, NoCapConfig
+from .simulator import NoCapSimulator
+
+#: The final proof folds S shard claims; folding verifiers are small
+#: fixed circuits, so the aggregation statement costs this many
+#: constraints per folded shard (Nova-style verifier circuits are on the
+#: order of a million constraints).
+FOLD_CONSTRAINTS_PER_SHARD = 1 << 21
+#: Folding messages per shard (commitments + challenges), bytes.
+FOLD_MESSAGE_BYTES = 4096
+#: Rack interconnect for the folding messages.
+INTERCONNECT_BYTES_PER_S = 10e9
+
+
+@dataclass
+class RackOperatingPoint:
+    """One (statement, shard-count) configuration."""
+
+    raw_constraints: int
+    num_accelerators: int
+    shard_seconds: float          # parallel shard proving time
+    aggregation_seconds: float    # final folding proof
+    communication_seconds: float  # cross-shard folding messages
+    single_chip_seconds: float    # baseline: one NoCap proves it all
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.shard_seconds + self.aggregation_seconds
+                + self.communication_seconds)
+
+    @property
+    def speedup(self) -> float:
+        return self.single_chip_seconds / self.total_seconds
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per accelerator (1.0 = perfect scaling)."""
+        return self.speedup / self.num_accelerators
+
+
+def rack_scale(raw_constraints: int, num_accelerators: int,
+               config: Optional[NoCapConfig] = None,
+               fold_constraints_per_shard: int = FOLD_CONSTRAINTS_PER_SHARD,
+               ) -> RackOperatingPoint:
+    """Project proving time for a statement sharded over a rack."""
+    if num_accelerators < 1:
+        raise ValueError("need at least one accelerator")
+    sim = NoCapSimulator(config or DEFAULT_CONFIG)
+
+    single = sim.simulate(next_pow2(raw_constraints)).total_seconds
+
+    shard_raw = -(-raw_constraints // num_accelerators)
+    shard_padded = next_pow2(max(shard_raw, 1 << 12))
+    shard_time = sim.simulate(shard_padded).total_seconds
+
+    if num_accelerators == 1:
+        return RackOperatingPoint(raw_constraints, 1, single, 0.0, 0.0, single)
+
+    agg_padded = next_pow2(max(
+        num_accelerators * fold_constraints_per_shard, 1 << 12))
+    agg_time = sim.simulate(agg_padded).total_seconds
+    comm_time = (num_accelerators * FOLD_MESSAGE_BYTES
+                 / INTERCONNECT_BYTES_PER_S)
+    return RackOperatingPoint(raw_constraints, num_accelerators,
+                              shard_time, agg_time, comm_time, single)
+
+
+def scaling_curve(raw_constraints: int,
+                  accelerator_counts: List[int] = (1, 2, 4, 8, 16, 32, 64),
+                  config: Optional[NoCapConfig] = None
+                  ) -> List[RackOperatingPoint]:
+    """Strong-scaling curve for one statement size."""
+    return [rack_scale(raw_constraints, s, config)
+            for s in accelerator_counts]

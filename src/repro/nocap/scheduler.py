@@ -1,0 +1,178 @@
+"""Static scheduling of macro-op programs (Sec. IV-A "Static scheduling").
+
+NoCap exposes fixed instruction latencies to the compiler, which
+schedules instructions to respect data dependencies and structural
+hazards; each FU has its own instruction stream (distributed control).
+This module implements that scheduler: a list scheduler that assigns each
+instruction a start cycle honoring
+
+* RAW/WAW/WAR dependencies through vector registers,
+* full pipelining (an FU accepts a new macro-op once the previous one's
+  *occupancy* — vector length / lanes — has drained), and
+* HBM bandwidth for loads/stores.
+
+The result is a cycle-accurate schedule for small programs plus per-FU
+utilization — the same quantities the task-level model aggregates, which
+the test-suite cross-checks on kernels scheduled both ways.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .config import DEFAULT_CONFIG, NoCapConfig
+from .isa import Instruction, Opcode, Program
+
+#: Pipeline depth (cycles from issue to writeback) per FU.
+PIPELINE_LATENCY = {
+    "add": 2,
+    "mul": 6,
+    "hash": 48,    # SHA3 rounds
+    "shuffle": 14, # Benes stages (2 log2(128) - 1)
+    "ntt": 96,     # four-step pipeline through the transpose SRAM
+    "mem": 64,     # worst-case HBM latency, buffered (Sec. IV-A)
+}
+
+
+@dataclass
+class ScheduledOp:
+    instruction: Instruction
+    start_cycle: int
+    occupancy: int       # cycles the FU is busy accepting this op
+    done_cycle: int      # result available (start + occupancy + latency)
+
+
+@dataclass
+class Schedule:
+    ops: List[ScheduledOp]
+    makespan: int
+    busy_cycles: Dict[str, int]
+
+    def utilization(self, unit: str) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return self.busy_cycles.get(unit, 0) / self.makespan
+
+
+def _lanes(cfg: NoCapConfig, unit: str) -> float:
+    return {
+        "add": cfg.add_lanes,
+        "mul": cfg.mul_lanes,
+        "hash": cfg.hash_lanes,
+        "shuffle": cfg.shuffle_lanes,
+        "ntt": cfg.ntt_lanes,
+        "mem": cfg.hbm_bytes_per_s / cfg.frequency_hz / 8.0,  # elements/cycle
+    }[unit]
+
+
+def occupancy_cycles(ins: Instruction, cfg: NoCapConfig) -> int:
+    """Cycles the target FU spends accepting this macro-op."""
+    unit = ins.functional_unit
+    if unit is None:
+        return 0
+    per_cycle = _lanes(cfg, unit)
+    if ins.opcode is Opcode.VNTT and ins.length > cfg.ntt_base_size:
+        raise ValueError("VNTT macro-ops are limited to the FU base size; "
+                         "larger NTTs are four-step sequences of VNTTs")
+    return max(1, math.ceil(ins.length / per_cycle))
+
+
+def schedule_program(program: Program,
+                     config: Optional[NoCapConfig] = None) -> Schedule:
+    """Produce the static schedule for a straight-line program.
+
+    In-order list scheduling: each instruction issues at the earliest
+    cycle when (a) its source registers are written, (b) its destination's
+    previous writer and readers are done (WAW/WAR), and (c) its FU has
+    drained earlier macro-ops.
+    """
+    cfg = config or DEFAULT_CONFIG
+    reg_ready: Dict[str, int] = {}      # register -> cycle its value is ready
+    reg_last_read: Dict[str, int] = {}  # register -> last read completion
+    fu_free: Dict[str, int] = {}        # unit -> next cycle it can accept
+    busy: Dict[str, int] = {}
+    ops: List[ScheduledOp] = []
+    makespan = 0
+
+    for ins in program.instructions:
+        if ins.opcode is Opcode.DELAY:
+            base = max(fu_free.values(), default=0)
+            for unit in fu_free:
+                fu_free[unit] = base + (ins.imm or 0)
+            continue
+        if ins.opcode is Opcode.BRANCH:
+            raise ValueError("schedule_program expects unrolled programs")
+        unit = ins.functional_unit
+        occ = occupancy_cycles(ins, cfg)
+        latency = PIPELINE_LATENCY[unit]
+
+        start = fu_free.get(unit, 0)
+        for src in ins.srcs:
+            start = max(start, reg_ready.get(src, 0))
+        if ins.dst is not None:
+            start = max(start, reg_last_read.get(ins.dst, 0))
+            start = max(start, reg_ready.get(ins.dst, 0))
+
+        done = start + occ + latency
+        fu_free[unit] = start + occ
+        busy[unit] = busy.get(unit, 0) + occ
+        if ins.dst is not None:
+            reg_ready[ins.dst] = done
+        for src in ins.srcs:
+            reg_last_read[src] = max(reg_last_read.get(src, 0), start + occ)
+        ops.append(ScheduledOp(ins, start, occ, done))
+        makespan = max(makespan, done)
+
+    return Schedule(ops=ops, makespan=makespan, busy_cycles=busy)
+
+
+def vector_chain_program(length: int, depth: int) -> Program:
+    """Test helper: a dependent chain of VMULs (no parallelism)."""
+    prog = Program()
+    prog.append(Instruction(Opcode.VLOAD, length, dst="v0", addr=0))
+    for i in range(depth):
+        prog.append(Instruction(Opcode.VMUL, length,
+                                dst=f"v{i+1}", srcs=(f"v{i}", f"v{i}")))
+    prog.append(Instruction(Opcode.VSTORE, length, srcs=(f"v{depth}",),
+                            addr=8 * length))
+    return prog
+
+
+def sumcheck_round_program(length: int, degree: int = 3) -> Program:
+    """A single sumcheck round as a macro-op program: sample, multiply
+    across factors, reduce, fold — the schedule NoCap's compiler emits for
+    Listing 1's inner loop."""
+    prog = Program()
+    half = max(1, length // 2)
+    for f in range(degree):
+        prog.append(Instruction(Opcode.VLOAD, half, dst=f"bot{f}", addr=f * 8 * length))
+        prog.append(Instruction(Opcode.VLOAD, half, dst=f"top{f}",
+                                addr=f * 8 * length + 4 * length))
+    for t in range(degree + 1):
+        prod_reg = None
+        for f in range(degree):
+            sample = f"s{t}_{f}"
+            # bottom + t * (top - bottom): one add + one mul macro-op
+            prog.append(Instruction(Opcode.VADD, half, dst=f"d{t}_{f}",
+                                    srcs=(f"top{f}", f"bot{f}")))
+            prog.append(Instruction(Opcode.VMUL, half, dst=sample,
+                                    srcs=(f"d{t}_{f}", f"d{t}_{f}")))
+            if prod_reg is None:
+                prod_reg = sample
+            else:
+                prog.append(Instruction(Opcode.VMUL, half, dst=f"p{t}_{f}",
+                                        srcs=(prod_reg, sample)))
+                prod_reg = f"p{t}_{f}"
+        # tree reduction via shuffle + add
+        prog.append(Instruction(Opcode.VSHUF, half, dst=f"r{t}", srcs=(prod_reg,)))
+        prog.append(Instruction(Opcode.VADD, half, dst=f"sum{t}",
+                                srcs=(f"r{t}", prod_reg)))
+    # fold all factor tables by the round challenge
+    for f in range(degree):
+        prog.append(Instruction(Opcode.VMUL, half, dst=f"fold{f}",
+                                srcs=(f"top{f}", f"bot{f}")))
+        prog.append(Instruction(Opcode.VSTORE, half, srcs=(f"fold{f}",),
+                                addr=f * 8 * length))
+    return prog

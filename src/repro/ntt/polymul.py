@@ -1,0 +1,49 @@
+"""NTT-based polynomial multiplication (Sec. V-A, "Polynomial arithmetic").
+
+Coefficients are transformed to the evaluation domain, multiplied
+element-wise on the vector units, and transformed back — the same strategy
+NoCap uses, with the NTT FU doing the transforms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field import vector as fv
+from .radix2 import intt, ntt
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (and >= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def poly_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Multiply coefficient vectors a and b; result has len(a)+len(b)-1 coeffs."""
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.size == 0 or b.size == 0:
+        return np.zeros(0, dtype=np.uint64)
+    out_len = a.size + b.size - 1
+    n = next_pow2(out_len)
+    fa = np.zeros(n, dtype=np.uint64)
+    fb = np.zeros(n, dtype=np.uint64)
+    fa[: a.size] = a
+    fb[: b.size] = b
+    prod = intt(fv.mul(ntt(fa), ntt(fb)))
+    return prod[:out_len]
+
+
+def poly_eval_domain(coeffs: np.ndarray, domain_size: int) -> np.ndarray:
+    """Evaluate a coefficient vector on the size-``domain_size`` NTT domain.
+
+    This is the Reed-Solomon encoding primitive: zero-pad and transform.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    if domain_size < coeffs.size:
+        raise ValueError("domain smaller than coefficient vector")
+    padded = np.zeros(domain_size, dtype=np.uint64)
+    padded[: coeffs.size] = coeffs
+    return ntt(padded)

@@ -1,0 +1,81 @@
+"""Iterative radix-2 number-theoretic transform over Goldilocks.
+
+This is the reference transform: a decimation-in-time Cooley-Tukey NTT with
+fully vectorized butterflies.  It operates along the last axis, so the
+four-step algorithm (:mod:`repro.ntt.fourstep`) can apply it to whole
+matrices of rows at once, as NoCap's 64-lane NTT FU does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..field import vector as fv
+from .roots import bit_reverse_indices, n_inverse, twiddle_stages
+
+
+def _check_length(n: int) -> None:
+    if n < 1 or (n & (n - 1)) != 0:
+        raise ValueError(f"NTT length must be a power of two, got {n}")
+    if n > (1 << 32):
+        raise ValueError("NTT length exceeds Goldilocks 2-adicity (2^32)")
+
+
+def ntt(a: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """Forward (or inverse) NTT along the last axis.
+
+    Input is a canonical uint64 array whose last dimension is a power of
+    two.  The forward transform maps coefficients to evaluations at powers
+    of the primitive root in natural order; ``inverse=True`` inverts it
+    (including the 1/n scaling).
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    n = a.shape[-1]
+    _check_length(n)
+    if n == 1:
+        return a.copy()
+
+    out = a[..., bit_reverse_indices(n)].copy()
+    stages = twiddle_stages(n, inverse)
+    for s, tw in enumerate(stages):
+        length = 1 << (s + 1)
+        half = length // 2
+        shaped = out.reshape(out.shape[:-1] + (n // length, length))
+        u = shaped[..., :half].copy()  # copy: the in-place store below would alias it
+        v = fv.mul(shaped[..., half:], tw)
+        shaped[..., :half] = fv.add(u, v)
+        shaped[..., half:] = fv.sub(u, v)
+    if inverse:
+        out = fv.mul(out, np.uint64(n_inverse(n)))
+    return out
+
+
+def intt(a: np.ndarray) -> np.ndarray:
+    """Inverse NTT along the last axis (evaluations -> coefficients)."""
+    return ntt(a, inverse=True)
+
+
+def ntt_slow(a: np.ndarray, inverse: bool = False) -> np.ndarray:
+    """O(n^2) DFT used as a test oracle for small sizes."""
+    from .roots import inverse_root, primitive_root
+
+    a = np.asarray(a, dtype=np.uint64)
+    n = a.shape[-1]
+    _check_length(n)
+    from ..field.goldilocks import MODULUS, inv
+
+    w = inverse_root(n) if inverse else primitive_root(n)
+    vals = [int(x) for x in a]
+    out = []
+    for k in range(n):
+        acc = 0
+        wk = pow(w, k, MODULUS)
+        x = 1
+        for v in vals:
+            acc = (acc + v * x) % MODULUS
+            x = x * wk % MODULUS
+        out.append(acc)
+    if inverse:
+        ninv = inv(n)
+        out = [(x * ninv) % MODULUS for x in out]
+    return np.array(out, dtype=np.uint64)

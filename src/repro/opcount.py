@@ -1,0 +1,56 @@
+"""Operation-count accounting shared by the functional layer and the
+performance models.
+
+The paper's key analyses (Sec. III "critical operations", Fig. 6 task
+breakdowns) are stated in terms of 64-bit multiplies, hash invocations,
+and bytes moved.  :class:`OpCount` is the common currency: functional
+modules can report what they did, and analytic models report what a
+paper-scale run would do, in the same units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OpCount:
+    """Counts of primitive operations (the units NoCap's FUs implement)."""
+
+    mul: int = 0          # 64-bit modular multiplies
+    add: int = 0          # 64-bit modular adds/subs
+    hash_words: int = 0   # 256-bit hash-pair operations (Hash FU ops)
+    ntt_elements: int = 0 # elements pushed through base NTT kernels
+    shuffle_elements: int = 0  # elements routed through the Benes network
+    mem_read_bytes: int = 0
+    mem_write_bytes: int = 0
+    random_accesses: int = 0   # serialized, data-dependent off-chip reads
+
+    def __add__(self, other: "OpCount") -> "OpCount":
+        return OpCount(
+            mul=self.mul + other.mul,
+            add=self.add + other.add,
+            hash_words=self.hash_words + other.hash_words,
+            ntt_elements=self.ntt_elements + other.ntt_elements,
+            shuffle_elements=self.shuffle_elements + other.shuffle_elements,
+            mem_read_bytes=self.mem_read_bytes + other.mem_read_bytes,
+            mem_write_bytes=self.mem_write_bytes + other.mem_write_bytes,
+            random_accesses=self.random_accesses + other.random_accesses,
+        )
+
+    def scaled(self, k: int) -> "OpCount":
+        """Multiply every count by an integer repetition factor."""
+        return OpCount(
+            mul=self.mul * k,
+            add=self.add * k,
+            hash_words=self.hash_words * k,
+            ntt_elements=self.ntt_elements * k,
+            shuffle_elements=self.shuffle_elements * k,
+            mem_read_bytes=self.mem_read_bytes * k,
+            mem_write_bytes=self.mem_write_bytes * k,
+            random_accesses=self.random_accesses * k,
+        )
+
+    @property
+    def mem_bytes(self) -> int:
+        return self.mem_read_bytes + self.mem_write_bytes

@@ -1,0 +1,25 @@
+"""Polynomial commitment schemes (Orion over linear codes)."""
+
+from .fri import FriParams, FriProof, FriProver, FriVerifier, fri_prover_tasks
+from .orion import (
+    DEFAULT_PROXIMITY_VECTORS,
+    DEFAULT_ROWS,
+    OrionCommitment,
+    OrionEvalProof,
+    OrionPCS,
+    PCSParams,
+)
+
+__all__ = [
+    "FriParams",
+    "FriProof",
+    "FriProver",
+    "FriVerifier",
+    "fri_prover_tasks",
+    "DEFAULT_PROXIMITY_VECTORS",
+    "DEFAULT_ROWS",
+    "OrionCommitment",
+    "OrionEvalProof",
+    "OrionPCS",
+    "PCSParams",
+]

@@ -1,0 +1,254 @@
+"""The Orion polynomial commitment scheme (Brakedown/Shockwave style)
+over a linear code (Sec. II, Sec. V, Sec. VII-A).
+
+Commitment: the 2^L-entry MLE table is reshaped into a (rows x cols)
+matrix (rows = 128 at paper scale), each row is encoded with the linear
+code (Reed-Solomon, blowup 4), and the codeword *columns* are committed
+in a Merkle tree.
+
+Opening at a point q uses the tensor identity
+    P~(q) = eq(q_row)^T  M  eq(q_col),
+so the prover sends the combined row u = eq(q_row)^T M and the verifier
+completes the inner product itself.  Soundness comes from:
+
+* a proximity test — 4 random row-combinations (Sec. VII-A) whose
+  encodings must match the committed columns at 189 random positions, and
+* a consistency test — the evaluation combination checked at the same
+  columns (the paper follows Brakedown's observation that tests can reuse
+  columns, shrinking the proof).
+
+Zero-knowledge: one committed random mask row is folded into every
+proximity response, so those responses reveal no row of M (the paper's
+protocol-5 masking; the substitution is recorded in DESIGN.md).
+
+The full Orion scheme additionally compresses this proof with an inner
+SNARK ("proof composition"); prover-side cost is unchanged, so the
+performance model charges for exactly what is implemented here, and the
+*composed* proof sizes are modeled analytically in
+:mod:`repro.analysis.proofsize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..code.base import LinearCode
+from ..field.goldilocks import MODULUS
+from ..code.reed_solomon import ReedSolomonCode
+from ..field import vector as fv
+from ..hashing.merkle import MerklePath, MerkleTree, verify_path
+from ..hashing.fieldhash import hash_elements
+from ..hashing.transcript import Transcript
+from ..multilinear.mle import combine_rows, eq_table
+
+#: Paper parameters (Sec. VII-A).
+DEFAULT_ROWS = 128
+DEFAULT_PROXIMITY_VECTORS = 4
+
+
+@dataclass
+class PCSParams:
+    """Knobs of the commitment scheme, defaulting to the paper's values."""
+
+    num_rows: int = DEFAULT_ROWS
+    num_proximity_vectors: int = DEFAULT_PROXIMITY_VECTORS
+    zk_mask: bool = True
+
+    def rows_for(self, table_len: int) -> int:
+        """Actual row count: the configured value, capped for tiny tables."""
+        return min(self.num_rows, table_len)
+
+
+@dataclass
+class OrionCommitment:
+    """Public commitment: the Merkle root over codeword columns."""
+
+    root: bytes
+    table_len: int
+    num_rows: int      # excluding the zk mask row
+    num_cols: int
+
+    def size_bytes(self) -> int:
+        return 32
+
+
+@dataclass
+class _ProverState:
+    matrix: np.ndarray        # (rows [+1 mask], cols) message matrix
+    codewords: np.ndarray     # (rows [+1 mask], blowup*cols)
+    tree: MerkleTree
+    has_mask: bool
+
+
+@dataclass
+class OrionEvalProof:
+    """Everything the verifier needs beyond the commitment and the claim."""
+
+    proximity_rows: List[np.ndarray]   # u_k = gamma_k^T M (+ mask)
+    eval_row: np.ndarray               # u = eq(q_row)^T M
+    query_indices: List[int]
+    columns: List[np.ndarray]          # opened codeword columns (incl. mask row)
+    paths: List[MerklePath]
+
+    def size_bytes(self) -> int:
+        total = sum(r.size for r in self.proximity_rows) * 8
+        total += self.eval_row.size * 8
+        total += sum(c.size for c in self.columns) * 8
+        total += sum(p.size_bytes() for p in self.paths)
+        total += len(self.query_indices) * 4
+        return total
+
+
+class OrionPCS:
+    """Commit/open/verify for multilinear polynomials given as MLE tables."""
+
+    def __init__(self, code: Optional[LinearCode] = None,
+                 params: Optional[PCSParams] = None,
+                 rng: Optional[np.random.Generator] = None):
+        self.code = code or ReedSolomonCode()
+        self.params = params or PCSParams()
+        self._rng = rng or np.random.default_rng()
+
+    # -- commit ---------------------------------------------------------------
+    def commit(self, table: np.ndarray) -> tuple[OrionCommitment, _ProverState]:
+        table = np.asarray(table, dtype=np.uint64)
+        n = len(table)
+        if n == 0 or n & (n - 1):
+            raise ValueError("table length must be a power of two")
+        rows = self.params.rows_for(n)
+        cols = n // rows
+        matrix = table.reshape(rows, cols)
+        if self.params.zk_mask:
+            mask = fv.rand_vector(cols, self._rng).reshape(1, cols)
+            matrix = np.vstack([matrix, mask])
+        codewords = self.code.encode_rows(matrix)
+        tree = MerkleTree.from_columns(codewords)
+        commitment = OrionCommitment(
+            root=tree.root, table_len=n, num_rows=rows, num_cols=cols)
+        return commitment, _ProverState(matrix, codewords, tree,
+                                        self.params.zk_mask)
+
+    # -- open -----------------------------------------------------------------
+    def open(self, state: _ProverState, commitment: OrionCommitment,
+             point: Sequence[int], transcript: Transcript) -> OrionEvalProof:
+        """Produce an evaluation proof for P~(point); mutates the transcript."""
+        rows, cols = commitment.num_rows, commitment.num_cols
+        if (1 << len(point)) != commitment.table_len:
+            raise ValueError("point dimension does not match committed table")
+        transcript.absorb_digest(b"pcs/root", commitment.root)
+
+        # Proximity test rows (mask folded in with coefficient 1).
+        proximity_rows = []
+        for k in range(self.params.num_proximity_vectors):
+            gamma = transcript.challenge_vector(b"pcs/gamma%d" % k, rows)
+            coeffs = self._with_mask(gamma, state.has_mask, mask_coeff=1)
+            u = combine_rows(state.matrix, coeffs)
+            transcript.absorb_array(b"pcs/prox%d" % k, u)
+            proximity_rows.append(u)
+
+        # Evaluation row (mask excluded: coefficient 0).
+        row_point, _col_point = self._split_point(point, rows)
+        r = eq_table(row_point)
+        coeffs = self._with_mask(r, state.has_mask, mask_coeff=0)
+        eval_row = combine_rows(state.matrix, coeffs)
+        transcript.absorb_array(b"pcs/eval-row", eval_row)
+
+        # Column queries, shared by all tests.
+        codeword_len = self.code.codeword_length(cols)
+        indices = transcript.challenge_indices(
+            b"pcs/queries", self.code.num_queries, codeword_len)
+        columns = [state.codewords[:, j].copy() for j in indices]
+        paths = [state.tree.open(j) for j in indices]
+        return OrionEvalProof(proximity_rows, eval_row, indices, columns, paths)
+
+    def evaluate_from_row(self, eval_row: np.ndarray,
+                          point: Sequence[int], num_rows: int) -> int:
+        """P~(point) = <eval_row, eq(q_col)> — used by prover and verifier."""
+        _row_point, col_point = self._split_point(point, num_rows)
+        return fv.dot(eval_row, eq_table(col_point))
+
+    # -- verify ---------------------------------------------------------------
+    def verify(self, commitment: OrionCommitment, point: Sequence[int],
+               value: int, proof: OrionEvalProof,
+               transcript: Transcript) -> bool:
+        """Check an evaluation proof; mutates the transcript identically to
+        :meth:`open` so Fiat-Shamir challenges line up."""
+        rows, cols = commitment.num_rows, commitment.num_cols
+        if (1 << len(point)) != commitment.table_len:
+            return False
+        transcript.absorb_digest(b"pcs/root", commitment.root)
+
+        # Re-derive challenges in lockstep.
+        gammas = []
+        for k, u in enumerate(proof.proximity_rows):
+            gamma = transcript.challenge_vector(b"pcs/gamma%d" % k, rows)
+            transcript.absorb_array(b"pcs/prox%d" % k, np.asarray(u, dtype=np.uint64))
+            gammas.append(gamma)
+        if len(gammas) != self.params.num_proximity_vectors:
+            return False
+        transcript.absorb_array(b"pcs/eval-row",
+                                np.asarray(proof.eval_row, dtype=np.uint64))
+        codeword_len = self.code.codeword_length(cols)
+        indices = transcript.challenge_indices(
+            b"pcs/queries", self.code.num_queries, codeword_len)
+        if indices != proof.query_indices:
+            return False
+        if len(proof.columns) != len(indices) or len(proof.paths) != len(indices):
+            return False
+
+        expected_col_rows = rows + (1 if self._mask_present(proof, rows) else 0)
+        # Encode the claimed combination rows once.
+        prox_codes = [self.code.encode(np.asarray(u, dtype=np.uint64))
+                      for u in proof.proximity_rows]
+        eval_code = self.code.encode(np.asarray(proof.eval_row, dtype=np.uint64))
+
+        row_point, col_point = self._split_point(point, rows)
+        r = eq_table(row_point)
+
+        for j, col, path in zip(indices, proof.columns, proof.paths):
+            col = np.asarray(col, dtype=np.uint64)
+            if col.size != expected_col_rows:
+                return False
+            if path.index != j:
+                return False
+            if not verify_path(commitment.root, hash_elements(col), path):
+                return False
+            data_col = col[:rows]
+            mask_sym = int(col[rows]) if col.size > rows else 0
+            # Proximity consistency (mask coefficient 1).
+            for gamma, code_row in zip(gammas, prox_codes):
+                lhs = int(code_row[j])
+                rhs = (fv.dot(gamma, data_col) + mask_sym) % MODULUS
+                if lhs != rhs:
+                    return False
+            # Evaluation consistency (mask coefficient 0).
+            if int(eval_code[j]) != fv.dot(r, data_col):
+                return False
+
+        # Finally, the claimed value must follow from the evaluation row.
+        expected = fv.dot(np.asarray(proof.eval_row, dtype=np.uint64),
+                          eq_table(col_point))
+        return expected == value % MODULUS
+
+    # -- helpers ---------------------------------------------------------------
+    @staticmethod
+    def _split_point(point: Sequence[int], rows: int) -> tuple[list, list]:
+        log_rows = rows.bit_length() - 1
+        pt = [int(x) for x in point]
+        return pt[:log_rows], pt[log_rows:]
+
+    @staticmethod
+    def _with_mask(coeffs: np.ndarray, has_mask: bool, mask_coeff: int) -> np.ndarray:
+        if not has_mask:
+            return coeffs
+        return np.concatenate([coeffs, np.array([mask_coeff], dtype=np.uint64)])
+
+    @staticmethod
+    def _mask_present(proof: OrionEvalProof, rows: int) -> bool:
+        return bool(proof.columns) and proof.columns[0].size == rows + 1
+
+
+from ..field.goldilocks import MODULUS as MODULUS  # noqa: E402  (bottom to avoid cycle noise)

@@ -1,0 +1,209 @@
+"""Multi-precision ("bignum") arithmetic gadgets for R1CS.
+
+RSA operates on integers far wider than the Goldilocks field, so values
+are represented as vectors of 16-bit limbs.  Modular multiplication is
+proven with the standard SNARK recipe: the prover supplies quotient and
+remainder as witnesses, limb-products are compared through a carry chain,
+and every limb/carry is range-checked.  This is the machinery behind the
+paper's RSA benchmark (Table III: 98M constraints for 1,000 2048-bit
+exponentiations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .builder import Circuit, Wire
+
+LIMB_BITS = 16
+LIMB_BASE = 1 << LIMB_BITS
+LIMB_MASK = LIMB_BASE - 1
+
+
+def _to_limbs(value: int, num_limbs: int) -> List[int]:
+    if value < 0:
+        raise ValueError("bignum values must be non-negative")
+    limbs = [(value >> (LIMB_BITS * i)) & LIMB_MASK for i in range(num_limbs)]
+    if value >> (LIMB_BITS * num_limbs):
+        raise ValueError(f"value does not fit in {num_limbs} limbs")
+    return limbs
+
+
+class BigNum:
+    """A non-negative integer as range-checked 16-bit limb wires."""
+
+    def __init__(self, circuit: Circuit, limbs: List[Wire], num_limbs: int):
+        self.circuit = circuit
+        self.limbs = limbs
+        self.num_limbs = num_limbs
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def witness(cls, circuit: Circuit, value: int, num_limbs: int) -> "BigNum":
+        limbs = []
+        for lv in _to_limbs(value, num_limbs):
+            w = circuit.witness(lv)
+            circuit.to_bits(w, LIMB_BITS)  # range check
+            limbs.append(w)
+        return cls(circuit, limbs, num_limbs)
+
+    @classmethod
+    def public(cls, circuit: Circuit, value: int, num_limbs: int) -> "BigNum":
+        limbs = [circuit.public(lv) for lv in _to_limbs(value, num_limbs)]
+        return cls(circuit, limbs, num_limbs)
+
+    @classmethod
+    def constant(cls, circuit: Circuit, value: int, num_limbs: int) -> "BigNum":
+        limbs = [circuit.constant(lv) for lv in _to_limbs(value, num_limbs)]
+        return cls(circuit, limbs, num_limbs)
+
+    # -- inspection -----------------------------------------------------------
+    def value(self) -> int:
+        return sum(int(w.value) << (LIMB_BITS * i)
+                   for i, w in enumerate(self.limbs))
+
+    # -- constraints ------------------------------------------------------------
+    def assert_equal(self, other: "BigNum") -> None:
+        if self.num_limbs != other.num_limbs:
+            raise ValueError("limb-count mismatch")
+        for a, b in zip(self.limbs, other.limbs):
+            self.circuit.assert_equal(a, b)
+
+
+def _carry_bound_bits(num_limbs: int) -> int:
+    """Bit width B such that every carry satisfies |c| < 2^B."""
+    return LIMB_BITS + max(1, num_limbs.bit_length()) + 2
+
+
+def _assert_limbwise_equal(circuit: Circuit, lhs: List[Wire],
+                           lhs_vals: List[int], rhs: List[Wire],
+                           rhs_vals: List[int]) -> None:
+    """Constrain sum lhs_i 2^(16 i) == sum rhs_i 2^(16 i) as integers.
+
+    lhs/rhs limbs may exceed 16 bits (they are raw convolution sums); a
+    signed carry chain with range-checked carries enforces integer
+    equality: lhs_i - rhs_i + c_{i-1} = c_i * 2^16 and c_last = 0.
+    """
+    n = len(lhs)
+    if len(rhs) != n:
+        raise ValueError("limb-count mismatch")
+    bound_bits = _carry_bound_bits(n)
+    offset = 1 << bound_bits
+    carry_wire: Optional[Wire] = None
+    carry_val = 0
+    for i in range(n):
+        diff_val = lhs_vals[i] - rhs_vals[i] + carry_val
+        if diff_val % LIMB_BASE:
+            raise ValueError("limb equality does not hold on the assignment")
+        new_carry = diff_val // LIMB_BASE
+        if i == n - 1:
+            # Final carry must vanish.
+            expr = lhs[i] - rhs[i]
+            if carry_wire is not None:
+                expr = expr + carry_wire
+            elif carry_val:
+                expr = expr + carry_val
+            circuit.assert_equal(expr, 0)
+            if new_carry != 0:
+                raise ValueError("non-zero final carry on the assignment")
+            return
+        # Allocate the signed carry via an offset range check.
+        shifted = circuit.witness(new_carry + offset)
+        circuit.to_bits(shifted, bound_bits + 1)
+        c_wire = shifted - offset
+        expr = lhs[i] - rhs[i]
+        if carry_wire is not None:
+            expr = expr + carry_wire
+        elif carry_val:
+            expr = expr + carry_val
+        circuit.assert_equal(expr, c_wire * LIMB_BASE)
+        carry_wire, carry_val = c_wire, new_carry
+
+
+def mulmod(circuit: Circuit, a: BigNum, b: BigNum, modulus: int) -> BigNum:
+    """Return r = (a * b) mod modulus, fully constrained.
+
+    Proves a*b = q*modulus + r with witnessed q, r, via a limb convolution
+    and carry chain; also proves r < modulus.
+    """
+    n = a.num_limbs
+    if b.num_limbs != n:
+        raise ValueError("operand limb counts must match")
+    av, bv = a.value(), b.value()
+    q_val, r_val = divmod(av * bv, modulus)
+    q = BigNum.witness(circuit, q_val, n)
+    r = BigNum.witness(circuit, r_val, n)
+    mod_limbs = _to_limbs(modulus, n)
+
+    # lhs_i = sum_j a_j * b_{i-j}  (real multiplications)
+    # rhs_i = sum_j q_j * N_{i-j} + r_i  (N is constant: linear, free)
+    lhs: List[Wire] = []
+    rhs: List[Wire] = []
+    lhs_vals: List[int] = []
+    rhs_vals: List[int] = []
+    a_vals = [int(w.value) for w in a.limbs]
+    b_vals = [int(w.value) for w in b.limbs]
+    q_vals = [int(w.value) for w in q.limbs]
+    r_vals = [int(w.value) for w in r.limbs]
+    for i in range(2 * n - 1):
+        lo = max(0, i - n + 1)
+        hi = min(i, n - 1)
+        l_expr = circuit.constant(0)
+        l_val = 0
+        r_expr = circuit.constant(0)
+        r_val_i = 0
+        for j in range(lo, hi + 1):
+            l_expr = l_expr + circuit.mul(a.limbs[j], b.limbs[i - j])
+            l_val += a_vals[j] * b_vals[i - j]
+            r_expr = r_expr + q.limbs[j] * mod_limbs[i - j]
+            r_val_i += q_vals[j] * mod_limbs[i - j]
+        if i < n:
+            r_expr = r_expr + r.limbs[i]
+            r_val_i += r_vals[i]
+        lhs.append(l_expr)
+        rhs.append(r_expr)
+        lhs_vals.append(l_val)
+        rhs_vals.append(r_val_i)
+    _assert_limbwise_equal(circuit, lhs, lhs_vals, rhs, rhs_vals)
+    assert_less_than_const(circuit, r, modulus)
+    return r
+
+
+def assert_less_than_const(circuit: Circuit, a: BigNum, bound: int) -> None:
+    """Constrain a < bound (bound a public constant) by exhibiting
+    diff = bound - 1 - a as a range-checked bignum with a + diff = bound-1."""
+    n = a.num_limbs
+    av = a.value()
+    if av >= bound:
+        raise ValueError("assignment violates a < bound")
+    diff = BigNum.witness(circuit, bound - 1 - av, n)
+    target = _to_limbs(bound - 1, n)
+    lhs = [a.limbs[i] + diff.limbs[i] for i in range(n)]
+    lhs_vals = [int(a.limbs[i].value) + int(diff.limbs[i].value)
+                for i in range(n)]
+    rhs = [circuit.constant(t) for t in target]
+    _assert_limbwise_equal(circuit, lhs, lhs_vals, rhs, list(target))
+
+
+def modexp(circuit: Circuit, base: BigNum, exponent: int,
+           modulus: int) -> BigNum:
+    """Fixed-exponent modular exponentiation by square-and-multiply.
+
+    The exponent is public (as in RSA verification, e.g. e = 65537), so
+    the multiplication schedule is static.
+    """
+    if exponent < 1:
+        raise ValueError("exponent must be >= 1")
+    result: Optional[BigNum] = None
+    acc = base
+    e = exponent
+    while True:
+        if e & 1:
+            result = acc if result is None else mulmod(circuit, result, acc,
+                                                       modulus)
+        e >>= 1
+        if e == 0:
+            break
+        acc = mulmod(circuit, acc, acc, modulus)
+    assert result is not None
+    return result

@@ -1,0 +1,126 @@
+"""Bit-vector gadgets for cipher and hash circuits.
+
+AES and SHA-256 are bit-oriented, so their R1CS circuits manipulate values
+as lists of boolean wires (LSB first).  XOR/AND cost one constraint per
+bit; rotations and shifts are free rewirings; modular addition allocates
+the sum's bits.  These cost characteristics are what make the paper's
+AES/SHA benchmarks as large as Table III reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .builder import Circuit, Wire
+
+Bits = List[Wire]
+
+
+def witness_bits(circuit: Circuit, value: int, width: int) -> Bits:
+    """Allocate ``width`` boolean witness wires holding ``value``."""
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    bits = []
+    for i in range(width):
+        bit = circuit.witness((value >> i) & 1)
+        circuit.assert_bool(bit)
+        bits.append(bit)
+    return bits
+
+
+def public_bits(circuit: Circuit, value: int, width: int) -> Bits:
+    """Allocate ``width`` boolean public wires holding ``value``."""
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    bits = []
+    for i in range(width):
+        bit = circuit.public((value >> i) & 1)
+        circuit.assert_bool(bit)
+        bits.append(bit)
+    return bits
+
+
+def const_bits(circuit: Circuit, value: int, width: int) -> Bits:
+    """Constant bits (no wires allocated)."""
+    return [circuit.constant((value >> i) & 1) for i in range(width)]
+
+
+def bits_value(bits: Sequence[Wire]) -> int:
+    """Current assignment of a bit vector."""
+    return sum(int(b.value) << i for i, b in enumerate(bits))
+
+
+def bits_xor(circuit: Circuit, a: Bits, b: Bits) -> Bits:
+    """Bitwise XOR; constant operand bits cost nothing."""
+    out = []
+    for x, y in zip(a, b):
+        cx, cy = x.lc.is_constant(), y.lc.is_constant()
+        if cx is not None:
+            out.append(y if cx == 0 else circuit.not_(y))
+        elif cy is not None:
+            out.append(x if cy == 0 else circuit.not_(x))
+        else:
+            out.append(circuit.xor(x, y))
+    return out
+
+
+def bits_and(circuit: Circuit, a: Bits, b: Bits) -> Bits:
+    return [circuit.and_(x, y) if x.lc.is_constant() is None
+            and y.lc.is_constant() is None
+            else x * y for x, y in zip(a, b)]
+
+
+def bits_not(circuit: Circuit, a: Bits) -> Bits:
+    return [circuit.not_(x) for x in a]
+
+
+def bits_rotr(a: Bits, k: int) -> Bits:
+    """Rotate right by k (free rewiring).  LSB-first: out[i] = a[(i+k) % w]."""
+    w = len(a)
+    k %= w
+    return [a[(i + k) % w] for i in range(w)]
+
+
+def bits_shr(circuit: Circuit, a: Bits, k: int) -> Bits:
+    """Logical shift right by k, zero-filling the top (free)."""
+    zero = circuit.constant(0)
+    return [a[i + k] if i + k < len(a) else zero for i in range(len(a))]
+
+
+def bits_to_field(circuit: Circuit, bits: Bits) -> Wire:
+    """Recompose bits into one field wire (free linear combination)."""
+    return circuit.from_bits(bits)
+
+
+def add_mod(circuit: Circuit, words: Sequence[Bits], width: int) -> Bits:
+    """Sum several width-bit words modulo 2^width.
+
+    One field addition is free; the result is re-decomposed into
+    width + ceil(log2(k)) constrained bits and the carries discarded —
+    the standard SNARK adder (~width + log k constraints per addition).
+    """
+    if not words:
+        raise ValueError("add_mod needs at least one word")
+    total = circuit.constant(0)
+    value = 0
+    for w in words:
+        if len(w) != width:
+            raise ValueError("operand width mismatch")
+        total = total + circuit.from_bits(w)
+        value += bits_value(w)
+    carry_bits = max(1, (len(words) - 1).bit_length())
+    out_bits = witness_bits(circuit, value % (1 << (width + carry_bits)),
+                            width + carry_bits)
+    circuit.assert_equal(circuit.from_bits(out_bits), total)
+    return out_bits[:width]
+
+
+def bits_select(circuit: Circuit, cond: Wire, if_true: Bits,
+                if_false: Bits) -> Bits:
+    """Per-bit conditional select (one constraint per bit)."""
+    return [circuit.select(cond, t, f) for t, f in zip(if_true, if_false)]
+
+
+def assert_bits_equal(circuit: Circuit, a: Bits, b: Bits) -> None:
+    """Constrain two bit vectors equal (via their field recompositions)."""
+    circuit.assert_equal(circuit.from_bits(a), circuit.from_bits(b))

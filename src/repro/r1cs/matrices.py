@@ -1,0 +1,140 @@
+"""Sparse matrices for R1CS constraint systems (Sec. II-B).
+
+The A, B, C matrices of an R1CS mostly encode permutations — O(1) non-zeros
+per row, concentrated near the diagonal — which is what makes NoCap's
+output-stationary SpMV mapping effective (Sec. V-A).  This module stores
+them in coordinate form with numpy index arrays and provides exact
+modular sparse matrix-vector products.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from ..field import vector as fv
+from ..field.goldilocks import MODULUS
+
+
+class SparseMatrix:
+    """COO sparse matrix over GF(p) with fast modular SpMV."""
+
+    def __init__(self, num_rows: int, num_cols: int,
+                 rows: np.ndarray | None = None,
+                 cols: np.ndarray | None = None,
+                 vals: np.ndarray | None = None):
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+        self.rows = np.asarray(rows if rows is not None else [], dtype=np.int64)
+        self.cols = np.asarray(cols if cols is not None else [], dtype=np.int64)
+        self.vals = np.asarray(vals if vals is not None else [], dtype=np.uint64)
+        if not (len(self.rows) == len(self.cols) == len(self.vals)):
+            raise ValueError("rows, cols, vals must have equal length")
+
+    @classmethod
+    def from_entries(cls, num_rows: int, num_cols: int,
+                     entries: Iterable[Tuple[int, int, int]]) -> "SparseMatrix":
+        """Build from (row, col, value) triples; duplicate coordinates sum.
+
+        Vectorized (lexsort + grouped reduction) so that circuits with
+        millions of matrix entries compile in seconds.
+        """
+        entries = list(entries)
+        if not entries:
+            return cls(num_rows, num_cols)
+        return cls.from_arrays(num_rows, num_cols,
+                               [e[0] for e in entries],
+                               [e[1] for e in entries],
+                               [e[2] for e in entries])
+
+    @classmethod
+    def from_arrays(cls, num_rows: int, num_cols: int,
+                    row_list, col_list, val_list) -> "SparseMatrix":
+        """Build from parallel row/col/value lists (the fast path used by
+        :meth:`repro.r1cs.builder.Circuit.compile`); duplicates sum."""
+        if not row_list:
+            return cls(num_rows, num_cols)
+        rows = np.array(row_list, dtype=np.int64)
+        cols = np.array(col_list, dtype=np.int64)
+        vals = np.array([v % MODULUS for v in val_list], dtype=np.uint64)
+        if rows.min() < 0 or rows.max() >= num_rows or \
+                cols.min() < 0 or cols.max() >= num_cols:
+            bad = np.flatnonzero((rows < 0) | (rows >= num_rows)
+                                 | (cols < 0) | (cols >= num_cols))[0]
+            raise IndexError(f"entry ({rows[bad]},{cols[bad]}) outside "
+                             f"{num_rows}x{num_cols}")
+        order = np.lexsort((cols, rows))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        # Group duplicates and sum their 32-bit halves exactly (uint64
+        # holds up to 2^32 terms per coordinate), then recombine mod p.
+        new_group = np.empty(len(rows), dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (np.diff(rows) != 0) | (np.diff(cols) != 0)
+        starts = np.flatnonzero(new_group)
+        lo = np.add.reduceat(vals & np.uint64(0xFFFFFFFF), starts)
+        hi = np.add.reduceat(vals >> np.uint64(32), starts)
+        p = np.uint64(MODULUS)
+        lo = np.where(lo >= p, lo - p, lo)
+        hi = np.where(hi >= p, hi - p, hi)
+        summed = fv.add(lo, fv.mul(hi, np.uint64((1 << 32) % MODULUS)))
+        keep = summed != 0
+        return cls(num_rows, num_cols,
+                   rows[starts][keep], cols[starts][keep], summed[keep])
+
+    @property
+    def nnz(self) -> int:
+        return len(self.vals)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Exact y = M x over GF(p)."""
+        x = np.asarray(x, dtype=np.uint64)
+        if x.shape[0] != self.num_cols:
+            raise ValueError(f"vector length {x.shape[0]} != num_cols {self.num_cols}")
+        if self.nnz == 0:
+            return np.zeros(self.num_rows, dtype=np.uint64)
+        prods = fv.mul(self.vals, x[self.cols])
+        # Exact vectorized scatter-add: accumulate the 32-bit halves of each
+        # product separately (uint64 holds up to 2^32 such terms), then
+        # recombine modularly.  Any uint64 t < 2p, so one conditional
+        # subtract canonicalizes each partial sum.
+        lo = prods & np.uint64(0xFFFFFFFF)
+        hi = prods >> np.uint64(32)
+        sum_lo = np.zeros(self.num_rows, dtype=np.uint64)
+        sum_hi = np.zeros(self.num_rows, dtype=np.uint64)
+        np.add.at(sum_lo, self.rows, lo)
+        np.add.at(sum_hi, self.rows, hi)
+        p = np.uint64(MODULUS)
+        sum_lo = np.where(sum_lo >= p, sum_lo - p, sum_lo)
+        sum_hi = np.where(sum_hi >= p, sum_hi - p, sum_hi)
+        two32 = np.uint64((1 << 32) % MODULUS)
+        return fv.add(sum_lo, fv.mul(sum_hi, two32))
+
+    def transpose_matvec(self, x: np.ndarray) -> np.ndarray:
+        """Exact y = M^T x over GF(p)."""
+        return SparseMatrix(self.num_cols, self.num_rows,
+                            self.cols, self.rows, self.vals).matvec(x)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense object-dtype matrix (tests / tiny systems only)."""
+        out = np.zeros((self.num_rows, self.num_cols), dtype=object)
+        for r, c, v in zip(self.rows, self.cols, self.vals):
+            out[r, c] = (out[r, c] + int(v)) % MODULUS
+        return out
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        return [(int(r), int(c), int(v))
+                for r, c, v in zip(self.rows, self.cols, self.vals)]
+
+    def pad_to(self, num_rows: int, num_cols: int) -> "SparseMatrix":
+        """Embed into a larger zero matrix (R1CS power-of-two padding)."""
+        if num_rows < self.num_rows or num_cols < self.num_cols:
+            raise ValueError("pad_to cannot shrink a matrix")
+        return SparseMatrix(num_rows, num_cols, self.rows, self.cols, self.vals)
+
+    def bandwidth(self) -> int:
+        """Max |row - col| over non-zeros: the paper's 'limited-bandwidth'
+        property that gives SpMV its input-vector reuse."""
+        if self.nnz == 0:
+            return 0
+        return int(np.max(np.abs(self.rows - self.cols)))

@@ -1,0 +1,16 @@
+"""High-level zk-SNARK API (Spartan IOP + Orion PCS)."""
+
+from .api import ProofBundle, Snark, prove_and_verify
+from .params import PAPER, TEST, SecurityPreset
+from .serialize import proof_from_bytes, proof_to_bytes
+
+__all__ = [
+    "ProofBundle",
+    "Snark",
+    "prove_and_verify",
+    "PAPER",
+    "TEST",
+    "SecurityPreset",
+    "proof_from_bytes",
+    "proof_to_bytes",
+]

@@ -1,0 +1,93 @@
+"""High-level zk-SNARK API: the facade downstream users program against.
+
+    from repro.snark import Snark
+    from repro.r1cs import Circuit
+
+    circuit = Circuit()
+    ...build constraints, allocating public inputs and witnesses...
+    snark = Snark.from_circuit(circuit)
+    proof = snark.prove()
+    assert snark.verify(proof)
+
+``Snark`` binds an R1CS instance to a security preset; the proof object
+serializes to bytes (:mod:`repro.snark.serialize`) so it can be shipped to
+a verifier over the paper's 10 MB/s link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..hashing.transcript import Transcript
+from ..r1cs.builder import Circuit
+from ..r1cs.system import R1CS
+from ..spartan.protocol import SpartanProof, SpartanProver, SpartanVerifier
+from .params import TEST, SecurityPreset
+
+
+@dataclass
+class ProofBundle:
+    """A proof plus the public inputs it attests to."""
+
+    proof: SpartanProof
+    public: np.ndarray
+
+    def size_bytes(self) -> int:
+        return self.proof.size_bytes() + len(self.public) * 8
+
+
+class Snark:
+    """A prover/verifier pair for one R1CS instance."""
+
+    def __init__(self, r1cs: R1CS, preset: SecurityPreset = TEST,
+                 rng: Optional[np.random.Generator] = None):
+        self.r1cs = r1cs
+        self.preset = preset
+        self._pcs = preset.make_pcs(rng=rng)
+        self._params = preset.make_spartan_params()
+        self._prover = SpartanProver(r1cs, self._pcs, self._params)
+        self._verifier = SpartanVerifier(r1cs, self._pcs, self._params)
+        self._public: Optional[np.ndarray] = None
+        self._witness: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit, preset: SecurityPreset = TEST,
+                     rng: Optional[np.random.Generator] = None) -> "Snark":
+        """Compile a circuit and remember its assignment for :meth:`prove`."""
+        r1cs, public, witness = circuit.compile()
+        snark = cls(r1cs, preset, rng)
+        snark._public = public
+        snark._witness = witness
+        return snark
+
+    def prove(self, public: Optional[np.ndarray] = None,
+              witness: Optional[np.ndarray] = None) -> ProofBundle:
+        """Generate a proof; defaults to the assignment captured at
+        :meth:`from_circuit` time."""
+        public = public if public is not None else self._public
+        witness = witness if witness is not None else self._witness
+        if public is None or witness is None:
+            raise ValueError("no assignment: pass public and witness explicitly")
+        proof = self._prover.prove(public, witness, Transcript())
+        return ProofBundle(proof=proof, public=np.asarray(public, dtype=np.uint64))
+
+    def verify(self, bundle: ProofBundle) -> bool:
+        """Check a proof against its public inputs."""
+        return self._verifier.verify(bundle.public, bundle.proof, Transcript())
+
+    def verify_raw(self, public: np.ndarray, proof: SpartanProof) -> bool:
+        return self._verifier.verify(np.asarray(public, dtype=np.uint64),
+                                     proof, Transcript())
+
+
+def prove_and_verify(circuit: Circuit,
+                     preset: SecurityPreset = TEST) -> ProofBundle:
+    """One-shot helper used by examples and tests: prove then self-check."""
+    snark = Snark.from_circuit(circuit, preset)
+    bundle = snark.prove()
+    if not snark.verify(bundle):
+        raise AssertionError("freshly generated proof failed verification")
+    return bundle

@@ -1,0 +1,180 @@
+"""Binary serialization of Spartan+Orion proofs.
+
+A compact little-endian format so measured wire sizes are honest: this is
+what travels over the paper's 10 MB/s prover-verifier link.  Layout is
+length-prefixed throughout; see the writer methods for the exact framing.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+import numpy as np
+
+from ..hashing.merkle import MerklePath
+from ..pcs.orion import OrionCommitment, OrionEvalProof
+from ..spartan.protocol import RepetitionProof, SpartanProof
+
+MAGIC = b"NCAP"
+VERSION = 1
+
+
+class _Writer:
+    def __init__(self):
+        self.parts: List[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self.parts.append(struct.pack("<B", v))
+
+    def u32(self, v: int) -> None:
+        self.parts.append(struct.pack("<I", v))
+
+    def u64(self, v: int) -> None:
+        self.parts.append(struct.pack("<Q", v))
+
+    def digest(self, d: bytes) -> None:
+        if len(d) != 32:
+            raise ValueError("digest must be 32 bytes")
+        self.parts.append(d)
+
+    def fields(self, values) -> None:
+        self.u32(len(values))
+        for v in values:
+            self.u64(int(v))
+
+    def array(self, arr: np.ndarray) -> None:
+        arr = np.asarray(arr, dtype="<u8")
+        self.u32(arr.size)
+        self.parts.append(arr.tobytes())
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > len(self.data):
+            raise ValueError("truncated proof data")
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return struct.unpack("<B", self._take(1))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def digest(self) -> bytes:
+        return self._take(32)
+
+    def fields(self) -> List[int]:
+        n = self.u32()
+        return [self.u64() for _ in range(n)]
+
+    def array(self) -> np.ndarray:
+        n = self.u32()
+        return np.frombuffer(self._take(8 * n), dtype="<u8").astype(np.uint64)
+
+    def done(self) -> bool:
+        return self.pos == len(self.data)
+
+
+def _write_pcs_proof(w: _Writer, p: OrionEvalProof) -> None:
+    w.u32(len(p.proximity_rows))
+    for row in p.proximity_rows:
+        w.array(row)
+    w.array(p.eval_row)
+    w.u32(len(p.query_indices))
+    for idx in p.query_indices:
+        w.u32(idx)
+    w.u32(len(p.columns))
+    for col in p.columns:
+        w.array(col)
+    w.u32(len(p.paths))
+    for path in p.paths:
+        w.u32(path.index)
+        w.u32(len(path.siblings))
+        for sib in path.siblings:
+            w.digest(sib)
+
+
+def _read_pcs_proof(r: _Reader) -> OrionEvalProof:
+    proximity_rows = [r.array() for _ in range(r.u32())]
+    eval_row = r.array()
+    query_indices = [r.u32() for _ in range(r.u32())]
+    columns = [r.array() for _ in range(r.u32())]
+    paths = []
+    for _ in range(r.u32()):
+        index = r.u32()
+        siblings = [r.digest() for _ in range(r.u32())]
+        paths.append(MerklePath(index=index, siblings=siblings))
+    return OrionEvalProof(proximity_rows, eval_row, query_indices, columns, paths)
+
+
+def _write_repetition(w: _Writer, rp: RepetitionProof) -> None:
+    w.u32(len(rp.sc1_round_evals))
+    for evals in rp.sc1_round_evals:
+        w.fields(evals)
+    w.u64(rp.va)
+    w.u64(rp.vb)
+    w.u64(rp.vc)
+    w.u32(len(rp.sc2.round_evals))
+    for evals in rp.sc2.round_evals:
+        w.fields(evals)
+    w.fields(rp.sc2.final_values)
+    w.u64(rp.w_eval)
+    _write_pcs_proof(w, rp.pcs_proof)
+
+
+def _read_repetition(r: _Reader) -> RepetitionProof:
+    from ..multilinear.sumcheck import SumcheckProof
+
+    sc1 = [r.fields() for _ in range(r.u32())]
+    va, vb, vc = r.u64(), r.u64(), r.u64()
+    sc2_rounds = [r.fields() for _ in range(r.u32())]
+    sc2_finals = r.fields()
+    w_eval = r.u64()
+    pcs_proof = _read_pcs_proof(r)
+    return RepetitionProof(sc1, va, vb, vc,
+                           SumcheckProof(sc2_rounds, sc2_finals),
+                           w_eval, pcs_proof)
+
+
+def proof_to_bytes(proof: SpartanProof) -> bytes:
+    """Serialize a proof to its wire format."""
+    w = _Writer()
+    w.parts.append(MAGIC)
+    w.u8(VERSION)
+    c = proof.witness_commitment
+    w.digest(c.root)
+    w.u64(c.table_len)
+    w.u32(c.num_rows)
+    w.u32(c.num_cols)
+    w.u32(len(proof.repetitions))
+    for rp in proof.repetitions:
+        _write_repetition(w, rp)
+    return w.getvalue()
+
+
+def proof_from_bytes(data: bytes) -> SpartanProof:
+    """Parse a proof from its wire format; raises ValueError on corruption."""
+    r = _Reader(data)
+    if r._take(4) != MAGIC:
+        raise ValueError("bad magic")
+    if r.u8() != VERSION:
+        raise ValueError("unsupported proof version")
+    commitment = OrionCommitment(root=r.digest(), table_len=r.u64(),
+                                 num_rows=r.u32(), num_cols=r.u32())
+    reps = [_read_repetition(r) for _ in range(r.u32())]
+    if not r.done():
+        raise ValueError("trailing bytes after proof")
+    return SpartanProof(commitment, reps)

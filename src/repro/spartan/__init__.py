@@ -1,0 +1,28 @@
+"""The Spartan IOP composed with the Orion PCS."""
+
+from . import memcheck
+from .matrixeval import combined_matrix_eval, combined_matrix_row, matrix_mle_eval
+from .protocol import (
+    DEFAULT_REPETITIONS,
+    RepetitionProof,
+    SpartanParams,
+    SpartanProof,
+    SpartanProver,
+    SpartanVerifier,
+)
+from .sumcheck1 import finish_constraint_sumcheck, prove_constraint_sumcheck
+
+__all__ = [
+    "memcheck",
+    "combined_matrix_eval",
+    "combined_matrix_row",
+    "matrix_mle_eval",
+    "DEFAULT_REPETITIONS",
+    "RepetitionProof",
+    "SpartanParams",
+    "SpartanProof",
+    "SpartanProver",
+    "SpartanVerifier",
+    "finish_constraint_sumcheck",
+    "prove_constraint_sumcheck",
+]

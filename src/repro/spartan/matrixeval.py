@@ -1,0 +1,66 @@
+"""Evaluation of the multilinear extensions of the R1CS matrices.
+
+M~(rx, ry) = sum over non-zeros v at (i, j) of v * eq(rx, i) * eq(ry, j).
+
+Spartan's full scheme (Spark) commits to these sparse MLEs during
+preprocessing and proves the evaluations with memory-checking sumchecks
+(the 4-gamma multiset hashes of Sec. VII-A).  The functional layer here
+lets the verifier evaluate directly in O(nnz) — identical result, not
+succinct; the succinct variant's cost appears in the performance model
+(DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..field import vector as fv
+from ..multilinear.mle import eq_table
+from ..r1cs.matrices import SparseMatrix
+
+
+def matrix_mle_eval(matrix: SparseMatrix, rx: Sequence[int],
+                    ry: Sequence[int]) -> int:
+    """Evaluate the matrix MLE at (rx, ry) directly from the non-zeros."""
+    if matrix.num_rows != (1 << len(rx)) or matrix.num_cols != (1 << len(ry)):
+        raise ValueError("point dimensions do not match matrix shape")
+    if matrix.nnz == 0:
+        return 0
+    eq_rows = eq_table(rx)
+    eq_cols = eq_table(ry)
+    terms = fv.mul(matrix.vals, fv.mul(eq_rows[matrix.rows], eq_cols[matrix.cols]))
+    return fv.vsum(terms)
+
+
+def combined_matrix_eval(a: SparseMatrix, b: SparseMatrix, c: SparseMatrix,
+                         r_a: int, r_b: int, r_c: int,
+                         rx: Sequence[int], ry: Sequence[int]) -> int:
+    """(r_a * A~ + r_b * B~ + r_c * C~)(rx, ry), sharing the eq tables."""
+    eq_rows = eq_table(rx)
+    eq_cols = eq_table(ry)
+    total = 0
+    for m, coeff in ((a, r_a), (b, r_b), (c, r_c)):
+        if m.nnz == 0:
+            continue
+        terms = fv.mul(m.vals, fv.mul(eq_rows[m.rows], eq_cols[m.cols]))
+        total += coeff * fv.vsum(terms)
+    from ..field.goldilocks import MODULUS
+
+    return total % MODULUS
+
+
+def combined_matrix_row(a: SparseMatrix, b: SparseMatrix, c: SparseMatrix,
+                        r_a: int, r_b: int, r_c: int,
+                        rx: Sequence[int]) -> np.ndarray:
+    """The vector y |-> (r_a*A~ + r_b*B~ + r_c*C~)(rx, y) on the hypercube.
+
+    Equals (r_a*A + r_b*B + r_c*C)^T eq(rx); this is the first factor of
+    Spartan's second sumcheck.
+    """
+    eq_rows = eq_table(rx)
+    acc = np.zeros(a.num_cols, dtype=np.uint64)
+    for m, coeff in ((a, r_a), (b, r_b), (c, r_c)):
+        acc = fv.add(acc, fv.mul_scalar(m.transpose_matvec(eq_rows), coeff))
+    return acc

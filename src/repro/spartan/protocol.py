@@ -1,0 +1,224 @@
+"""The Spartan IOP composed with the Orion PCS: the paper's zk-SNARK.
+
+Protocol outline (Setty, CRYPTO'20, NIZK variant; Sec. II / V of the
+paper):
+
+1. The prover commits to the witness MLE w~ with the Orion PCS.
+2. Sumcheck #1 (cubic): sum_x eq(tau, x) * (Az~(x) Bz~(x) - Cz~(x)) = 0
+   for a random tau, reducing satisfiability to claims (va, vb, vc) about
+   Az~, Bz~, Cz~ at a random point rx.
+3. The claims are bundled with random coefficients (r_a, r_b, r_c) and
+   sumcheck #2 (quadratic) peels off the matrix products:
+   sum_y M~(rx, y) * z~(y) = r_a va + r_b vb + r_c vc.
+4. The verifier checks M~(rx, ry) itself (from the public matrices) and
+   obtains z~(ry) from the public half plus a PCS opening of w~.
+
+128-bit soundness over the 64-bit field comes from running the sumcheck
+chain ``repetitions`` times with independent Fiat-Shamir challenges
+(Sec. VII-A: 3 repetitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..field.goldilocks import MODULUS
+from ..hashing.transcript import Transcript
+from ..multilinear.mle import eq_eval, eq_table, mle_eval
+from ..multilinear.sumcheck import (
+    SumcheckProof,
+    prove_sumcheck,
+    verify_sumcheck_rounds,
+)
+from ..pcs.orion import OrionCommitment, OrionEvalProof, OrionPCS
+from ..r1cs.system import R1CS
+from .matrixeval import combined_matrix_eval, combined_matrix_row
+from .sumcheck1 import (
+    finish_constraint_sumcheck,
+    prove_constraint_sumcheck,
+)
+
+#: Paper value (Sec. VII-A): "we run all sumchecks 3 times".
+DEFAULT_REPETITIONS = 3
+
+
+@dataclass
+class SpartanParams:
+    """Protocol knobs; defaults give the paper's 128-bit configuration."""
+
+    repetitions: int = DEFAULT_REPETITIONS
+
+
+@dataclass
+class RepetitionProof:
+    """One independently-challenged run of the sumcheck chain."""
+
+    sc1_round_evals: List[List[int]]
+    va: int
+    vb: int
+    vc: int
+    sc2: SumcheckProof
+    w_eval: int                      # claimed w~(ry[1:])
+    pcs_proof: OrionEvalProof
+
+    def size_bytes(self) -> int:
+        total = 8 * sum(len(r) for r in self.sc1_round_evals)
+        total += 3 * 8
+        total += self.sc2.size_bytes()
+        total += 8
+        total += self.pcs_proof.size_bytes()
+        return total
+
+
+@dataclass
+class SpartanProof:
+    """A complete Spartan+Orion proof."""
+
+    witness_commitment: OrionCommitment
+    repetitions: List[RepetitionProof]
+
+    def size_bytes(self) -> int:
+        return (self.witness_commitment.size_bytes()
+                + sum(r.size_bytes() for r in self.repetitions))
+
+
+class SpartanProver:
+    """Generates Spartan+Orion proofs for a fixed R1CS instance."""
+
+    def __init__(self, r1cs: R1CS, pcs: Optional[OrionPCS] = None,
+                 params: Optional[SpartanParams] = None):
+        self.r1cs = r1cs
+        self.pcs = pcs or OrionPCS()
+        self.params = params or SpartanParams()
+
+    def prove(self, public: np.ndarray, witness: np.ndarray,
+              transcript: Optional[Transcript] = None) -> SpartanProof:
+        """Prove knowledge of ``witness`` satisfying the R1CS on ``public``."""
+        tr = transcript or Transcript()
+        r1cs = self.r1cs
+        z = r1cs.assemble_z(public, witness)
+        if not r1cs.is_satisfied(z):
+            raise ValueError("witness does not satisfy the constraint system")
+        log_n = r1cs.shape.log_size
+        pub_half, wit_half = r1cs.split_z(z)
+
+        tr.absorb_array(b"spartan/public", np.asarray(public, dtype=np.uint64))
+        commitment, state = self.pcs.commit(wit_half)
+        tr.absorb_digest(b"spartan/witness-commitment", commitment.root)
+
+        az, bz, cz = r1cs.products(z)
+        reps: List[RepetitionProof] = []
+        for rep in range(self.params.repetitions):
+            label = b"spartan/rep%d" % rep
+            tau = tr.challenge_fields(label + b"/tau", log_n)
+            eq_tau = eq_table(tau)
+            sc1_rounds, (va, vb, vc), rx = prove_constraint_sumcheck(
+                eq_tau, az, bz, cz, tr, label + b"/sc1")
+
+            r_a = tr.challenge_field(label + b"/ra")
+            r_b = tr.challenge_field(label + b"/rb")
+            r_c = tr.challenge_field(label + b"/rc")
+            claim2 = (r_a * va + r_b * vb + r_c * vc) % MODULUS
+
+            m_row = combined_matrix_row(r1cs.a, r1cs.b, r1cs.c,
+                                        r_a, r_b, r_c, rx)
+            sc2, ry = prove_sumcheck([m_row, z], tr, label + b"/sc2")
+
+            # Open w~ at ry[1:] (ry[0] selects the witness half).
+            w_point = ry[1:]
+            w_eval = mle_eval(wit_half, w_point)
+            tr.absorb_field(label + b"/w-eval", w_eval)
+            pcs_proof = self.pcs.open(state, commitment, w_point,
+                                      tr.fork(label + b"/pcs"))
+            reps.append(RepetitionProof(sc1_rounds, va, vb, vc, sc2,
+                                        w_eval, pcs_proof))
+            _ = claim2  # the verifier recomputes it; kept for readability
+        return SpartanProof(commitment, reps)
+
+
+class SpartanVerifier:
+    """Checks Spartan+Orion proofs against the public R1CS instance."""
+
+    def __init__(self, r1cs: R1CS, pcs: Optional[OrionPCS] = None,
+                 params: Optional[SpartanParams] = None):
+        self.r1cs = r1cs
+        self.pcs = pcs or OrionPCS()
+        self.params = params or SpartanParams()
+
+    def verify(self, public: np.ndarray, proof: SpartanProof,
+               transcript: Optional[Transcript] = None) -> bool:
+        tr = transcript or Transcript()
+        r1cs = self.r1cs
+        log_n = r1cs.shape.log_size
+        public = np.asarray(public, dtype=np.uint64)
+        if len(public) != r1cs.shape.num_public:
+            return False
+        if len(proof.repetitions) != self.params.repetitions:
+            return False
+
+        # Reconstruct the public half of z for direct evaluation.
+        pub_half = np.zeros(r1cs.shape.half, dtype=np.uint64)
+        pub_half[: len(public)] = public
+
+        tr.absorb_array(b"spartan/public", public)
+        tr.absorb_digest(b"spartan/witness-commitment",
+                         proof.witness_commitment.root)
+
+        for rep, rp in enumerate(proof.repetitions):
+            label = b"spartan/rep%d" % rep
+            tau = tr.challenge_fields(label + b"/tau", log_n)
+
+            # Sumcheck 1: claim 0, degree 3.
+            res1 = verify_sumcheck_rounds(0, rp.sc1_round_evals, 3, tr,
+                                          label + b"/sc1")
+            if not res1.ok or len(res1.challenges) != log_n:
+                return False
+            rx = res1.challenges
+            tr.absorb_fields(label + b"/sc1/final", [rp.va, rp.vb, rp.vc])
+            eq_at_rx = eq_eval(tau, rx)
+            if not finish_constraint_sumcheck(res1.final_claim, eq_at_rx,
+                                              rp.va, rp.vb, rp.vc):
+                return False
+
+            r_a = tr.challenge_field(label + b"/ra")
+            r_b = tr.challenge_field(label + b"/rb")
+            r_c = tr.challenge_field(label + b"/rc")
+            claim2 = (r_a * rp.va + r_b * rp.vb + r_c * rp.vc) % MODULUS
+
+            # Sumcheck 2: degree 2; final factor values are (m_val, z_val).
+            res2 = verify_sumcheck_rounds(claim2, rp.sc2.round_evals, 2, tr,
+                                          label + b"/sc2")
+            if not res2.ok or len(res2.challenges) != log_n:
+                return False
+            ry = res2.challenges
+            tr.absorb_fields(label + b"/sc2/final", rp.sc2.final_values)
+            if len(rp.sc2.final_values) != 2:
+                return False
+            m_val, z_val = rp.sc2.final_values
+            if m_val * z_val % MODULUS != res2.final_claim:
+                return False
+
+            # Check m_val directly against the public matrices.
+            expected_m = combined_matrix_eval(r1cs.a, r1cs.b, r1cs.c,
+                                              r_a, r_b, r_c, rx, ry)
+            if m_val % MODULUS != expected_m:
+                return False
+
+            # Check z_val = (1 - ry0) * pub~(ry[1:]) + ry0 * w~(ry[1:]).
+            w_point = ry[1:]
+            tr.absorb_field(label + b"/w-eval", rp.w_eval)
+            pub_eval = mle_eval(pub_half, w_point)
+            ry0 = ry[0] % MODULUS
+            expected_z = ((1 - ry0) * pub_eval + ry0 * rp.w_eval) % MODULUS
+            if z_val % MODULUS != expected_z:
+                return False
+
+            # PCS opening of w~ at ry[1:].
+            if not self.pcs.verify(proof.witness_commitment, w_point,
+                                   rp.w_eval, rp.pcs_proof,
+                                   tr.fork(label + b"/pcs")):
+                return False
+        return True

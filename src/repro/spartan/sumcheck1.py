@@ -1,0 +1,77 @@
+"""Spartan's first sumcheck: the cubic "constraint" sumcheck.
+
+Proves  sum_{x in {0,1}^L}  eq(tau, x) * (Az~(x) * Bz~(x) - Cz~(x)) = 0,
+which (for random tau) implies (A z) o (B z) = (C z), i.e. that the R1CS
+is satisfied.  The per-round polynomial has degree 3, so each round sends
+four evaluations.  This is the kernel NoCap's sumcheck DP (Listing 1)
+plus recomputation optimization targets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..field import vector as fv
+from ..field.goldilocks import MODULUS
+from ..hashing.transcript import Transcript
+from ..multilinear.mle import fold
+
+DEGREE = 3
+
+
+def _sample(table: np.ndarray, t_val: int) -> np.ndarray:
+    """Value of a multilinear factor at (t, b): bottom + t*(top - bottom)."""
+    half = len(table) // 2
+    bottom, top = table[:half], table[half:]
+    if t_val == 0:
+        return bottom
+    if t_val == 1:
+        return top
+    return fv.add(bottom, fv.mul_scalar(fv.sub(top, bottom), t_val))
+
+
+def prove_constraint_sumcheck(
+    eq: np.ndarray, az: np.ndarray, bz: np.ndarray, cz: np.ndarray,
+    transcript: Transcript, label: bytes = b"spartan/sc1",
+) -> Tuple[List[List[int]], Tuple[int, int, int], List[int]]:
+    """Prover for sum_x eq(x) * (az(x)*bz(x) - cz(x)) (claim = 0).
+
+    Returns (round_evals, (va, vb, vc), challenges) where va/vb/vc are the
+    claimed MLE values of Az, Bz, Cz at the challenge point rx.
+    """
+    tables = [np.asarray(t, dtype=np.uint64).copy() for t in (eq, az, bz, cz)]
+    n = len(tables[0])
+    if any(len(t) != n for t in tables) or n & (n - 1):
+        raise ValueError("tables must share a power-of-two length")
+
+    round_evals: List[List[int]] = []
+    challenges: List[int] = []
+    num_rounds = n.bit_length() - 1
+    for rnd in range(num_rounds):
+        evals = []
+        for t_val in range(DEGREE + 1):
+            eq_t = _sample(tables[0], t_val)
+            az_t = _sample(tables[1], t_val)
+            bz_t = _sample(tables[2], t_val)
+            cz_t = _sample(tables[3], t_val)
+            g = fv.mul(eq_t, fv.sub(fv.mul(az_t, bz_t), cz_t))
+            evals.append(fv.vsum(g))
+        transcript.absorb_fields(label + b"/round%d" % rnd, evals)
+        r = transcript.challenge_field(label + b"/r%d" % rnd)
+        challenges.append(r)
+        tables = [fold(t, r) for t in tables]
+        round_evals.append(evals)
+
+    va, vb, vc = int(tables[1][0]), int(tables[2][0]), int(tables[3][0])
+    transcript.absorb_fields(label + b"/final", [va, vb, vc])
+    return round_evals, (va, vb, vc), challenges
+
+
+def finish_constraint_sumcheck(
+    reduced_claim: int, eq_at_rx: int, va: int, vb: int, vc: int,
+) -> bool:
+    """Verifier's final check: eq(tau, rx) * (va*vb - vc) == reduced claim."""
+    expected = eq_at_rx * ((va * vb - vc) % MODULUS) % MODULUS
+    return expected == reduced_claim % MODULUS

@@ -1,0 +1,146 @@
+"""The AES benchmark circuit (Table III: 16.0M constraints at paper scale).
+
+The circuit proves: "I know a key k such that AES-128_k(plaintext) =
+ciphertext" for public plaintext/ciphertext — e.g. proving a ciphertext is
+well-formed or decrypts to a given message without revealing the key
+(Sec. VII-B).  Bytes travel as 8 boolean wires; the S-box is the
+interpolated degree-255 lookup polynomial; ShiftRows is free rewiring;
+MixColumns is xtime + XOR structure.
+
+At paper scale the benchmark encrypts 1,000 blocks (a 16 KB message); the
+tests use reduced blocks/rounds, which scales constraints linearly without
+changing the structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..r1cs.builder import Circuit
+from ..r1cs.gadgets import (
+    Bits,
+    bits_xor,
+    const_bits,
+    witness_bits,
+)
+from .aes_reference import RCON, SBOX, aes128_encrypt_block
+
+Byte = Bits  # 8 boolean wires, LSB first
+
+
+def _sbox_byte(circuit: Circuit, byte: Byte) -> Byte:
+    """S-box via the interpolated lookup polynomial (Sec. V of DESIGN.md)."""
+    x = circuit.from_bits(byte)
+    y = circuit.lookup(x, SBOX, width=8, assume_range=True)
+    return circuit.to_bits(y, 8)
+
+
+def _xtime(circuit: Circuit, byte: Byte) -> Byte:
+    """Multiply by x in GF(2^8): shift left, conditionally XOR 0x1B.
+
+    Free except where 0x1B has a set bit (bits 0, 1, 3, 4), which costs
+    one XOR each — and bit 0, where the output *is* the carried MSB.
+    """
+    msb = byte[7]
+    zero = circuit.constant(0)
+    shifted = [zero] + byte[:7]
+    out = list(shifted)
+    out[0] = msb
+    for i in (1, 3, 4):
+        out[i] = circuit.xor(shifted[i], msb)
+    return out
+
+
+def _xor_bytes(circuit: Circuit, a: Byte, b: Byte) -> Byte:
+    return bits_xor(circuit, a, b)
+
+
+def _shift_rows(state: List[Byte]) -> List[Byte]:
+    out: List[Byte] = [None] * 16  # type: ignore[list-item]
+    for c in range(4):
+        for r in range(4):
+            out[4 * c + r] = state[4 * ((c + r) % 4) + r]
+    return out
+
+
+def _mix_columns(circuit: Circuit, state: List[Byte]) -> List[Byte]:
+    out: List[Byte] = []
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        xt = [_xtime(circuit, b) for b in col]
+        for r in range(4):
+            term = _xor_bytes(circuit, xt[r],
+                              _xor_bytes(circuit, xt[(r + 1) % 4], col[(r + 1) % 4]))
+            term = _xor_bytes(circuit, term, col[(r + 2) % 4])
+            term = _xor_bytes(circuit, term, col[(r + 3) % 4])
+            out.append(term)
+    return out
+
+
+def _add_round_key(circuit: Circuit, state: List[Byte],
+                   rk: List[Byte]) -> List[Byte]:
+    return [_xor_bytes(circuit, s, k) for s, k in zip(state, rk)]
+
+
+def _key_expansion_circuit(circuit: Circuit, key: List[Byte],
+                           num_rounds: int) -> List[List[Byte]]:
+    """In-circuit AES key schedule over byte wires."""
+    words: List[List[Byte]] = [key[i : i + 4] for i in range(0, 16, 4)]
+    for i in range(4, 4 * (num_rounds + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_sbox_byte(circuit, b) for b in temp]
+            rcon = const_bits(circuit, RCON[i // 4 - 1], 8)
+            temp[0] = _xor_bytes(circuit, temp[0], rcon)
+        words.append([_xor_bytes(circuit, a, b)
+                      for a, b in zip(words[i - 4], temp)])
+    return [sum(words[4 * r : 4 * r + 4], []) for r in range(num_rounds + 1)]
+
+
+def aes_circuit(plaintexts: Sequence[Sequence[int]], key: Sequence[int],
+                num_rounds: int = 10) -> Tuple[Circuit, List[List[int]]]:
+    """Build the AES proof circuit for one or more 16-byte blocks.
+
+    Public inputs: plaintext and ciphertext bytes of every block (as field
+    wires).  Witness: the key bytes (as bits).  Returns the circuit and
+    the expected ciphertexts (from the reference implementation).
+    """
+    circuit = Circuit()
+    expected = [aes128_encrypt_block(p, key, num_rounds) for p in plaintexts]
+
+    # Public wires first: plaintext and ciphertext bytes as field elements.
+    pt_wires = [[circuit.public(b) for b in block] for block in plaintexts]
+    ct_wires = [[circuit.public(b) for b in block] for block in expected]
+
+    # Witness: key bits.
+    key_bytes = [witness_bits(circuit, b, 8) for b in key]
+    round_keys = _key_expansion_circuit(circuit, key_bytes, num_rounds)
+
+    for pt_block, ct_block, block_bytes in zip(pt_wires, ct_wires, plaintexts):
+        # Decompose public plaintext bytes into bits (range-checked).
+        state = [circuit.to_bits(w, 8) for w in pt_block]
+        state = _add_round_key(circuit, state, round_keys[0])
+        for rnd in range(1, num_rounds):
+            state = [_sbox_byte(circuit, b) for b in state]
+            state = _shift_rows(state)
+            state = _mix_columns(circuit, state)
+            state = _add_round_key(circuit, state, round_keys[rnd])
+        state = [_sbox_byte(circuit, b) for b in state]
+        state = _shift_rows(state)
+        state = _add_round_key(circuit, state, round_keys[num_rounds])
+        # Bind the computed state to the public ciphertext wires.
+        for byte_bits, ct_wire in zip(state, ct_block):
+            circuit.assert_equal(circuit.from_bits(byte_bits), ct_wire)
+    return circuit, expected
+
+
+def aes_demo_circuit(num_blocks: int = 1, num_rounds: int = 2,
+                     seed: int = 0xAE5) -> Tuple[Circuit, List[List[int]]]:
+    """Deterministic small AES instance for tests and examples."""
+    import random
+
+    rng = random.Random(seed)
+    key = [rng.randrange(256) for _ in range(16)]
+    blocks = [[rng.randrange(256) for _ in range(16)] for _ in range(num_blocks)]
+    return aes_circuit(blocks, key, num_rounds)

@@ -1,0 +1,68 @@
+"""The Auction benchmark circuit: verifiable sealed-bid auction
+(Table III: 550.0M constraints at paper scale).
+
+After Galal & Youssef [33]: the auctioneer proves to all participants
+that the announced winner really submitted the highest bid, without
+revealing any losing bid (Sec. VII-B).
+
+Public inputs: number of bids, winner index, winning amount.
+Witness: all bids.  Constraints: the winner's bid equals the announced
+amount, and every other bid is strictly smaller (bit-decomposition
+comparisons, the dominant cost).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..r1cs.builder import Circuit
+
+DEFAULT_BID_BITS = 32
+
+
+def auction_circuit(bids: List[int], winner: int,
+                    bid_bits: int = DEFAULT_BID_BITS) -> Tuple[Circuit, int]:
+    """Build the sealed-bid auction circuit.
+
+    Returns (circuit, winning_amount).  Raises if ``winner`` does not
+    actually hold the strict maximum (ties with earlier bidders allowed
+    only if the winner is the first maximal bidder).
+    """
+    if not bids:
+        raise ValueError("auction needs at least one bid")
+    if any(b >= (1 << bid_bits) for b in bids):
+        raise ValueError("bid exceeds bid_bits")
+    amount = bids[winner]
+    if max(bids) != amount:
+        raise ValueError("declared winner does not hold the maximum bid")
+
+    circuit = Circuit()
+    winner_pub = circuit.public(winner)
+    amount_pub = circuit.public(amount)
+
+    bid_wires = [circuit.witness(b) for b in bids]
+    for w in bid_wires:
+        circuit.to_bits(w, bid_bits)  # range check every bid
+
+    # The winner's bid matches the announcement.
+    circuit.assert_equal(bid_wires[winner], amount_pub)
+    # Bind the winner index (it is baked into the wiring above).
+    circuit.assert_equal(circuit.constant(winner), winner_pub)
+
+    # Every other bid is <= the winning amount.
+    for i, w in enumerate(bid_wires):
+        if i == winner:
+            continue
+        is_less_or_eq = circuit.less_than(w, amount_pub + 1, bid_bits + 1)
+        circuit.assert_equal(is_less_or_eq, 1)
+    return circuit, amount
+
+
+def auction_demo_circuit(num_bids: int = 16, bid_bits: int = 16,
+                         seed: int = 0xB1D) -> Tuple[Circuit, int]:
+    """Deterministic small auction instance for tests and examples."""
+    rng = random.Random(seed)
+    bids = [rng.randrange(1 << bid_bits) for _ in range(num_bids)]
+    winner = max(range(num_bids), key=lambda i: bids[i])
+    return auction_circuit(bids, winner, bid_bits)

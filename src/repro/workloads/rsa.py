@@ -1,0 +1,91 @@
+"""The RSA benchmark circuit (Table III: 98.0M constraints at paper scale).
+
+Proves: "I know m such that m^e mod N = c" for public (N, e, c) — e.g.
+knowledge of a plaintext/signature without revealing it (Sec. VII-B).
+Paper scale uses 2048-bit moduli and 1,000 instances; the functional
+circuit here is parameterized by modulus width, with tests running
+64-256-bit instances (same limb machinery, linearly fewer constraints).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from ..r1cs.bignum import LIMB_BITS, BigNum, modexp
+from ..r1cs.builder import Circuit
+
+#: The standard RSA public exponent; tests may use smaller ones for speed.
+DEFAULT_EXPONENT = 65537
+
+
+def rsa_circuit(messages: List[int], modulus: int,
+                exponent: int = DEFAULT_EXPONENT) -> Tuple[Circuit, List[int]]:
+    """Build the RSA knowledge-of-preimage circuit.
+
+    Public: modulus limbs (implicit constants), ciphertexts c_i.
+    Witness: messages m_i with proof that m_i^e mod N = c_i.
+    Returns (circuit, ciphertexts).
+    """
+    bits = modulus.bit_length()
+    num_limbs = -(-bits // LIMB_BITS)
+    ciphertexts = [pow(m, exponent, modulus) for m in messages]
+
+    circuit = Circuit()
+    ct_nums = [BigNum.public(circuit, c, num_limbs) for c in ciphertexts]
+    for m, ct in zip(messages, ct_nums):
+        if not 0 <= m < modulus:
+            raise ValueError("message must be in [0, modulus)")
+        m_num = BigNum.witness(circuit, m, num_limbs)
+        result = modexp(circuit, m_num, exponent, modulus)
+        result.assert_equal(ct)
+    return circuit, ciphertexts
+
+
+def _random_modulus(bits: int, rng: random.Random) -> int:
+    """A random odd modulus of the requested width (product of two primes
+    for realism at small sizes; primality by Miller-Rabin)."""
+
+    def is_prime(n: int) -> bool:
+        if n < 2:
+            return False
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+            if n % p == 0:
+                return n == p
+        d, s = n - 1, 0
+        while d % 2 == 0:
+            d //= 2
+            s += 1
+        for _ in range(24):
+            a = rng.randrange(2, n - 1)
+            x = pow(a, d, n)
+            if x in (1, n - 1):
+                continue
+            for _ in range(s - 1):
+                x = x * x % n
+                if x == n - 1:
+                    break
+            else:
+                return False
+        return True
+
+    half = bits // 2
+    while True:
+        p = rng.getrandbits(half) | (1 << (half - 1)) | 1
+        if is_prime(p):
+            break
+    while True:
+        q = rng.getrandbits(bits - half) | (1 << (bits - half - 1)) | 1
+        if is_prime(q) and q != p:
+            break
+    return p * q
+
+
+def rsa_demo_circuit(num_messages: int = 1, modulus_bits: int = 64,
+                     exponent: int = 17,
+                     seed: int = 0x25A) -> Tuple[Circuit, List[int]]:
+    """Deterministic small RSA instance for tests and examples."""
+    rng = random.Random(seed)
+    modulus = _random_modulus(modulus_bits, rng)
+    messages = [rng.randrange(1, modulus) for _ in range(num_messages)]
+    return rsa_circuit(messages, modulus, exponent)

@@ -1,0 +1,77 @@
+"""Pure-Python SHA-256 reference (compression function exposed).
+
+The circuit in :mod:`repro.workloads.sha` proves knowledge of a message
+block hashing to a public digest; this module supplies the expected
+values, and the test-suite cross-checks full-message hashing against
+``hashlib``.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+K = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+IV = [
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+]
+
+_M32 = 0xFFFFFFFF
+
+
+def rotr(x: int, k: int) -> int:
+    return ((x >> k) | (x << (32 - k))) & _M32
+
+
+def compress(state: Sequence[int], block_words: Sequence[int],
+             num_rounds: int = 64) -> List[int]:
+    """One SHA-256 compression of a 16-word block into an 8-word state.
+
+    ``num_rounds`` < 64 gives the reduced-round variant used by fast tests
+    (structurally identical, cryptographically weak).
+    """
+    if len(block_words) != 16 or len(state) != 8:
+        raise ValueError("compress needs 16 message words and 8 state words")
+    w = list(block_words)
+    for t in range(16, num_rounds):
+        s0 = rotr(w[t - 15], 7) ^ rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+        s1 = rotr(w[t - 2], 17) ^ rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+        w.append((w[t - 16] + s0 + w[t - 7] + s1) & _M32)
+
+    a, b, c, d, e, f, g, h = state
+    for t in range(num_rounds):
+        big_s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        t1 = (h + big_s1 + ch + K[t] + w[t]) & _M32
+        big_s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        t2 = (big_s0 + maj) & _M32
+        h, g, f, e, d, c, b, a = g, f, e, (d + t1) & _M32, c, b, a, (t1 + t2) & _M32
+    return [(x + y) & _M32 for x, y in zip(state, [a, b, c, d, e, f, g, h])]
+
+
+def sha256(message: bytes) -> bytes:
+    """Full SHA-256 (padding + iterated compression); matches hashlib."""
+    length = len(message) * 8
+    message += b"\x80"
+    message += b"\x00" * ((56 - len(message)) % 64)
+    message += struct.pack(">Q", length)
+    state = list(IV)
+    for off in range(0, len(message), 64):
+        words = list(struct.unpack(">16I", message[off : off + 64]))
+        state = compress(state, words)
+    return struct.pack(">8I", *state)

@@ -1,0 +1,76 @@
+"""Synthetic satisfiable R1CS instances with the paper's matrix structure.
+
+The performance model consumes only structural properties of an instance
+(padded size, non-zeros, bandedness), so paper-scale workloads are
+represented by generated instances whose A, B, C have O(1) non-zeros per
+row concentrated in a band around the diagonal — the "limited-bandwidth"
+property Sec. V-A's SpMV mapping exploits.  The generator also produces a
+satisfying assignment, so the same instances exercise the functional
+prover at small scale.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..field import vector as fv
+from ..r1cs.matrices import SparseMatrix
+from ..r1cs.system import R1CS
+
+
+def synthetic_r1cs(log_size: int, band: int = 64, nnz_per_row: int = 3,
+                   seed: int = 0xBEEF) -> Tuple[R1CS, np.ndarray, np.ndarray]:
+    """Generate a satisfiable banded R1CS of 2^log_size constraints.
+
+    Returns (r1cs, public, witness).  Row i of A and B each draw
+    ``nnz_per_row`` columns within ``band`` of i; C has one non-zero per
+    row whose value is solved so the row is satisfied.
+    """
+    if log_size < 2:
+        raise ValueError("log_size must be >= 2")
+    n = 1 << log_size
+    half = n // 2
+    rng = np.random.default_rng(seed)
+
+    # z = [1, x | zero-pad]  ++  [witness, all non-zero].
+    num_public = min(2, half)
+    z = np.zeros(n, dtype=np.uint64)
+    z[0] = 1
+    if num_public > 1:
+        z[1] = int(rng.integers(1, 1 << 32))
+    wit = fv.rand_vector(half, rng)
+    wit = np.where(wit == 0, np.uint64(1), wit)
+    z[half:] = wit
+
+    def banded_cols(count: int) -> np.ndarray:
+        rows = np.repeat(np.arange(n, dtype=np.int64), count)
+        offsets = rng.integers(-band, band + 1, size=rows.size)
+        cols = np.clip(rows + offsets, 0, n - 1)
+        return rows, cols
+
+    rows_a, cols_a = banded_cols(nnz_per_row)
+    rows_b, cols_b = banded_cols(nnz_per_row)
+    vals_a = fv.rand_vector(rows_a.size, rng)
+    vals_b = fv.rand_vector(rows_b.size, rng)
+
+    a = SparseMatrix(n, n, rows_a, cols_a, vals_a)
+    b = SparseMatrix(n, n, rows_b, cols_b, vals_b)
+
+    az = a.matvec(z)
+    bz = b.matvec(z)
+    target = fv.mul(az, bz)
+
+    # C: one entry per row at a witness column with a non-zero z value;
+    # use column half + (i mod half), whose z entry is never zero.
+    rows_c = np.arange(n, dtype=np.int64)
+    cols_c = half + (rows_c % half)
+    z_at = z[cols_c]
+    vals_c = fv.mul(target, fv.inv_vector(z_at))
+    c = SparseMatrix(n, n, rows_c, cols_c, vals_c)
+
+    r1cs = R1CS(a, b, c, num_public=num_public, num_witness=half)
+    public = z[:num_public].copy()
+    assert r1cs.is_satisfied(z)
+    return r1cs, public, wit

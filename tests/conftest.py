@@ -1,0 +1,35 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.field.goldilocks import MODULUS
+
+# Keep hypothesis fast and deterministic in CI-style runs.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def pyrng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+def field_elements(draw, st, n: int):
+    """Draw a list of n field elements (helper for hypothesis tests)."""
+    return draw(st.lists(st.integers(0, MODULUS - 1), min_size=n, max_size=n))

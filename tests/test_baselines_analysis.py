@@ -1,0 +1,234 @@
+"""Tests for the baseline cost models and the table/figure analyses."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    cpu_efficiency_breakdown,
+    database_throughput,
+    dp_training_proof,
+    gmean,
+    groth16_mul_count,
+    photo_modification,
+    proof_size_mb,
+    send_seconds,
+    spartan_orion_mul_count,
+    table1_rows,
+    table5_rows,
+    verifier_seconds,
+)
+from repro.analysis.tables import format_speedup, format_table
+from repro.baselines import (
+    DEFAULT_CPU,
+    CpuModel,
+    Groth16Cpu,
+    Groth16Gpu,
+    PipeZkModel,
+    unoptimized_speedup,
+)
+from repro.nocap.simulator import prover_seconds
+from repro.workloads.spec import PAPER_WORKLOADS
+
+
+class TestCpuModel:
+    def test_table4_cpu_times(self):
+        for w in PAPER_WORKLOADS:
+            assert DEFAULT_CPU.prover_seconds(w.raw_constraints) == \
+                pytest.approx(w.paper_cpu_s, rel=0.02), w.name
+
+    def test_padding_doubling(self):
+        # 16M -> 2^24 and 17M -> 2^25: padding doubles the time.
+        assert DEFAULT_CPU.prover_seconds(17_000_000) == pytest.approx(
+            2 * DEFAULT_CPU.prover_seconds(16_000_000))
+
+    def test_ablation_factors(self):
+        base = DEFAULT_CPU.prover_seconds(16_000_000)
+        no_field = CpuModel(use_goldilocks=False).prover_seconds(16_000_000)
+        assert no_field / base == pytest.approx(1.7)
+        no_rs = CpuModel(use_reed_solomon=False).prover_seconds(16_000_000)
+        assert no_rs / base == pytest.approx(1.2)
+        with_recompute = CpuModel(use_recompute=True).prover_seconds(16_000_000)
+        assert with_recompute / base == pytest.approx(1.01)
+
+    def test_overall_optimization(self):
+        # Sec. VIII-C: "these improvements yield a 2.1x speedup on the CPU".
+        assert unoptimized_speedup() == pytest.approx(2.1, abs=0.1)
+
+    def test_task_split_sums_to_one(self):
+        split = DEFAULT_CPU.time_by_family(16_000_000)
+        assert sum(split.values()) == pytest.approx(
+            DEFAULT_CPU.prover_seconds(16_000_000))
+        assert split["sumcheck"] > split["rs_encode"] > split["merkle"]
+
+    def test_serial_time(self):
+        assert DEFAULT_CPU.prover_seconds_serial(16_000_000) == pytest.approx(
+            2.7 * 94.2, rel=0.02)
+
+
+class TestGroth16AndPipeZk:
+    def test_table1_prover_times(self):
+        assert Groth16Cpu().prover_seconds(16_000_000) == pytest.approx(53.99)
+        assert Groth16Gpu().prover_seconds(16_000_000) == pytest.approx(37.44)
+        assert PipeZkModel().prover_seconds(16_000_000) == pytest.approx(8.02)
+
+    def test_tiny_proofs(self):
+        assert Groth16Cpu().proof_bytes(10**9) == 200
+        assert Groth16Cpu().verify_seconds(10**9) == pytest.approx(0.01)
+
+    def test_pipezk_table4_column(self):
+        for w in PAPER_WORKLOADS:
+            assert PipeZkModel().prover_seconds(w.raw_constraints) == \
+                pytest.approx(w.paper_pipezk_s, rel=0.03), w.name
+
+    def test_pipezk_is_cpu_bound(self):
+        pz = PipeZkModel()
+        n = 16_000_000
+        assert pz.accelerated_part_seconds(n) == pytest.approx(1.43)
+        assert pz.cpu_part_seconds(n) == pytest.approx(8.02 - 1.43)
+        assert pz.cpu_part_seconds(n) > pz.accelerated_part_seconds(n)
+
+
+class TestProofSizeModels:
+    def test_table3_proof_sizes(self):
+        for w in PAPER_WORKLOADS:
+            assert proof_size_mb(w.raw_constraints) == pytest.approx(
+                w.paper_proof_mb, abs=0.15), w.name
+
+    def test_table3_verifier_times(self):
+        for w in PAPER_WORKLOADS:
+            assert verifier_seconds(w.raw_constraints) * 1e3 == pytest.approx(
+                w.paper_verify_ms, abs=2.0), w.name
+
+    def test_growth_is_superlinear_in_log(self):
+        # O(log^2): per-log-step increments grow.
+        d1 = proof_size_mb(1 << 25) - proof_size_mb(1 << 24)
+        d2 = proof_size_mb(1 << 30) - proof_size_mb(1 << 29)
+        assert d2 > d1
+
+    def test_send_seconds(self):
+        assert send_seconds(10e6) == pytest.approx(1.0)  # 10 MB at 10 MB/s
+
+
+class TestEndToEnd:
+    def test_table1_reproduced(self):
+        rows = {r.label: r for r in table1_rows()}
+        assert rows["Groth16 / CPU"].total_s == pytest.approx(54.0, abs=0.1)
+        assert rows["Groth16 / GPU"].total_s == pytest.approx(37.45, abs=0.1)
+        assert rows["Groth16 / PipeZK"].total_s == pytest.approx(8.03, abs=0.05)
+        assert rows["Spartan+Orion / CPU"].total_s == pytest.approx(95.14, abs=0.5)
+        nocap = rows["Spartan+Orion / NoCap"]
+        assert nocap.total_s == pytest.approx(1.09, abs=0.05)
+        # "proof generation now takes a modest 14% of total time"
+        assert nocap.prover_s / nocap.total_s == pytest.approx(0.14, abs=0.03)
+        # "end-to-end performance is 7.4x better than PipeZK's"
+        assert rows["Groth16 / PipeZK"].total_s / nocap.total_s == \
+            pytest.approx(7.4, abs=0.4)
+
+    def test_table5_gmean(self):
+        rows = table5_rows()
+        assert [r.workload for r in rows] == ["AES", "SHA", "RSA", "Litmus",
+                                              "Auction"]
+        g = gmean([r.speedup_vs_pipezk for r in rows])
+        assert g == pytest.approx(16.8, rel=0.05)
+
+    def test_table5_speedups_grow_then_dip(self):
+        """Table V: speedups grow with circuit size through Litmus (then
+        Auction dips due to the 2^30 padding)."""
+        rows = table5_rows()
+        s = [r.speedup_vs_pipezk for r in rows]
+        assert s[0] < s[1] < s[2] < s[3]
+
+    def test_database_throughput_regimes(self):
+        cpu_pt = database_throughput(DEFAULT_CPU.prover_seconds)
+        nocap_pt = database_throughput(prover_seconds)
+        # Sec. VIII-A: ~2 tx/s in software vs ~1,000x more with NoCap.
+        assert 1 <= cpu_pt.throughput_tps <= 10
+        assert nocap_pt.throughput_tps > 100
+        assert nocap_pt.throughput_tps > 50 * cpu_pt.throughput_tps
+        assert nocap_pt.latency_s <= 1.0
+
+    def test_database_latency_budget_respected(self):
+        pt = database_throughput(prover_seconds, latency_budget_s=2.0)
+        assert pt.latency_s <= 2.0
+
+
+class TestOpCounts:
+    def test_cpu_efficiency_identity(self):
+        b = cpu_efficiency_breakdown()
+        # 4.66 / 4.94 / (2.7/5.0) = 1.74x slower (Sec. III).
+        assert b.net_slowdown_vs_groth16 == pytest.approx(1.74, abs=0.02)
+
+    def test_mult_ratio(self):
+        n = 16_000_000
+        assert groth16_mul_count(n) / spartan_orion_mul_count(n) == \
+            pytest.approx(4.94)
+
+    def test_mul_count_scales_with_n(self):
+        assert spartan_orion_mul_count(32_000_000) > \
+            1.9 * spartan_orion_mul_count(16_000_000)
+
+
+class TestUseCases:
+    def test_photo_modification_claims(self):
+        """Sec. I: 'over 12 minutes to prove on a CPU, but with NoCap a
+        proof takes just over a second, and verification takes only 0.2
+        seconds'."""
+        uc = photo_modification()
+        assert uc.cpu_prover_s > 12 * 60
+        assert 0.5 < uc.nocap_prover_s < 2.5
+        assert uc.verify_s == pytest.approx(0.2, abs=0.05)
+
+    def test_dp_training_claims(self):
+        """Sec. I: '100 hours of computation to less than 30 minutes'."""
+        uc = dp_training_proof()
+        assert uc.cpu_prover_s == pytest.approx(100 * 3600, rel=0.15)
+        assert uc.nocap_total_s < 30 * 60
+
+
+class TestTables:
+    def test_format_table(self):
+        out = format_table(["a", "b"], [("x", 1.5), ("y", 2.0)], "T")
+        assert "T" in out and "a" in out and "x" in out
+        assert out.count("\n") == 4
+
+    def test_format_speedup(self):
+        assert format_speedup(586.4) == "586x"
+        assert format_speedup(7.4) == "7.4x"
+
+
+class TestEstimate:
+    def test_from_constraint_count(self):
+        from repro.analysis import estimate
+
+        est = estimate(16_000_000)
+        assert est.padded_constraints == 1 << 24
+        assert est.nocap_seconds == pytest.approx(0.148, abs=0.01)
+        assert est.speedup_vs_cpu == pytest.approx(636, rel=0.05)
+        assert "NoCap prover" in est.summary()
+
+    def test_from_circuit(self):
+        from repro.analysis import estimate
+        from repro.r1cs import Circuit
+
+        c = Circuit()
+        out = c.public(36)
+        x = c.witness(6)
+        c.assert_equal(c.mul(x, x), out)
+        est = estimate(c)
+        assert est.raw_constraints == c.num_constraints
+        assert est.nocap_seconds > 0
+
+    def test_from_r1cs(self):
+        from repro.analysis import estimate
+        from repro.workloads import synthetic_r1cs
+
+        r1cs, _, _ = synthetic_r1cs(10)
+        est = estimate(r1cs)
+        assert est.padded_constraints == 1 << 10
+
+    def test_invalid(self):
+        from repro.analysis import estimate
+
+        with pytest.raises(ValueError):
+            estimate(0)

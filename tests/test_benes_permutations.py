@@ -1,0 +1,150 @@
+"""Tests for the Benes network and the wide-permutation decompositions."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.nocap.benes import (
+    apply_routing,
+    control_bits_per_element,
+    num_stages,
+    permute,
+    route,
+)
+from repro.nocap.permutations import (
+    SHUFFLE_LANES,
+    grouped_interleave,
+    grouped_uninterleave,
+    wide_rotate,
+)
+
+
+class TestBenesRouting:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32, 64, 128])
+    def test_random_permutations_route(self, n, pyrng):
+        for _ in range(4):
+            perm = list(range(n))
+            pyrng.shuffle(perm)
+            data = np.arange(n)
+            got = permute(perm, data)
+            want = np.empty(n, dtype=int)
+            want[perm] = data
+            assert (got == want).all()
+
+    def test_identity(self):
+        data = np.arange(16)
+        assert (permute(list(range(16)), data) == data).all()
+
+    def test_reversal(self):
+        n = 32
+        perm = list(reversed(range(n)))
+        got = permute(perm, np.arange(n))
+        assert (got == np.arange(n)[::-1]).all()
+
+    def test_cyclic_shift(self):
+        n = 64
+        shift = 17
+        perm = [(i + shift) % n for i in range(n)]
+        got = permute(perm, np.arange(n))
+        assert (got == np.roll(np.arange(n), shift)).all()
+
+    def test_routing_reusable(self, pyrng):
+        n = 16
+        perm = list(range(n))
+        pyrng.shuffle(perm)
+        routing = route(perm)
+        for _ in range(3):
+            data = np.array([pyrng.randrange(1000) for _ in range(n)])
+            want = np.empty(n, dtype=int)
+            want[perm] = data
+            assert (apply_routing(routing, data) == want).all()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            route([0, 1, 2])        # not a power of two
+        with pytest.raises(ValueError):
+            route([0, 0, 1, 1])     # not a permutation
+        with pytest.raises(ValueError):
+            apply_routing(route([1, 0]), np.arange(4))
+
+    def test_stage_count(self):
+        assert num_stages(2) == 1
+        assert num_stages(128) == 13
+        with pytest.raises(ValueError):
+            num_stages(96)
+
+    def test_control_state_matches_paper(self):
+        """Sec. IV-B: ~N log2 N control bits; 7 bits per element at N=128."""
+        routing = route(list(range(128)))
+        n_log_n = 128 * 7
+        assert routing.control_bits() <= n_log_n
+        assert 6 <= control_bits_per_element(128) <= 7
+
+    @given(st.permutations(list(range(8))))
+    def test_routing_property(self, perm):
+        data = np.arange(8)
+        want = np.empty(8, dtype=int)
+        want[list(perm)] = data
+        assert (permute(list(perm), data) == want).all()
+
+
+class TestWidePermutations:
+    @pytest.mark.parametrize("n,amount", [(1024, 520), (256, 0), (256, 127),
+                                          (256, 128), (512, 511), (128, 5),
+                                          (2048, 2047), (1024, 512)])
+    def test_rotation_matches_roll(self, n, amount):
+        v = np.arange(n)
+        got, cost = wide_rotate(v, amount)
+        assert (got == np.roll(v, amount)).all()
+        assert cost.shuffle_passes == 1
+        assert cost.elements == n
+
+    def test_paper_example_520(self):
+        """Sec. IV-B: rotation by 520 = 8 (in-lane) + 512 (4 PE rows)."""
+        v = np.arange(1024)
+        got, cost = wide_rotate(v, 520)
+        assert (got == np.roll(v, 520)).all()
+        # Each group issues two bank-offset writes (wrapped + unwrapped).
+        assert cost.bank_writes == (1024 // SHUFFLE_LANES) * 2
+
+    def test_pure_group_shift_single_write(self):
+        _, cost = wide_rotate(np.arange(1024), 512)
+        assert cost.bank_writes == 1024 // SHUFFLE_LANES
+
+    def test_rotation_negative_amount_wraps(self):
+        v = np.arange(256)
+        got, _ = wide_rotate(v, -8)
+        assert (got == np.roll(v, -8)).all()
+
+    def test_rotation_invalid_width(self):
+        with pytest.raises(ValueError):
+            wide_rotate(np.arange(200), 5)
+
+    @pytest.mark.parametrize("g", [0, 1, 3, 4])
+    def test_interleave_roundtrip(self, g):
+        n = 1 << 7
+        v = np.arange(n)
+        out, cost = grouped_interleave(v, g)
+        assert (grouped_uninterleave(out, g) == v).all()
+        assert cost.shuffle_passes == 1
+
+    def test_interleave_semantics(self):
+        v = np.arange(16)
+        out, _ = grouped_interleave(v, 1)  # chunks of 2
+        assert out.tolist() == [0, 1, 4, 5, 8, 9, 12, 13,
+                                2, 3, 6, 7, 10, 11, 14, 15]
+
+    def test_interleave_compacts_even_chunks(self):
+        """The Merkle use: even-indexed chunks (surviving hash outputs)
+        become contiguous in the first half."""
+        v = np.arange(64)
+        out, _ = grouped_interleave(v, 2)
+        evens = v.reshape(-1, 4)[0::2].ravel()
+        assert (out[:32] == evens).all()
+
+    def test_interleave_invalid_width(self):
+        with pytest.raises(ValueError):
+            grouped_interleave(np.arange(12), 3)

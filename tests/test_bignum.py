@@ -1,0 +1,144 @@
+"""Tests for the multi-precision R1CS gadgets behind the RSA benchmark."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.r1cs import Circuit
+from repro.r1cs.bignum import (
+    LIMB_BITS,
+    BigNum,
+    assert_less_than_const,
+    modexp,
+    mulmod,
+)
+
+
+def _compiles_satisfied(circuit):
+    r1cs, pub, wit = circuit.compile()
+    return r1cs.is_satisfied(r1cs.assemble_z(pub, wit))
+
+
+class TestBigNum:
+    def test_roundtrip_value(self):
+        c = Circuit()
+        n = BigNum.witness(c, 0x1234_5678_9ABC, 4)
+        assert n.value() == 0x1234_5678_9ABC
+
+    def test_limb_decomposition(self):
+        c = Circuit()
+        n = BigNum.witness(c, 0x0003_0002_0001, 4)
+        assert [int(w.value) for w in n.limbs] == [1, 2, 3, 0]
+
+    def test_overflow_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            BigNum.witness(c, 1 << 64, 4)
+
+    def test_negative_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            BigNum.witness(c, -1, 4)
+
+    def test_assert_equal(self):
+        c = Circuit()
+        a = BigNum.witness(c, 12345, 2)
+        b = BigNum.witness(c, 12345, 2)
+        a.assert_equal(b)
+        assert _compiles_satisfied(c)
+
+
+class TestMulMod:
+    @given(st.integers(0, (1 << 48) - 1), st.integers(0, (1 << 48) - 1))
+    def test_matches_python(self, a, b):
+        modulus = (1 << 48) + 1  # fits 4 limbs comfortably? 49 bits -> 4 limbs
+        a %= modulus
+        b %= modulus
+        c = Circuit()
+        an = BigNum.witness(c, a, 4)
+        bn = BigNum.witness(c, b, 4)
+        r = mulmod(c, an, bn, modulus)
+        assert r.value() == a * b % modulus
+        assert _compiles_satisfied(c)
+
+    def test_zero_operand(self):
+        modulus = 1000003
+        c = Circuit()
+        r = mulmod(c, BigNum.witness(c, 0, 2), BigNum.witness(c, 999, 2),
+                   modulus)
+        assert r.value() == 0
+        assert _compiles_satisfied(c)
+
+    def test_max_operands(self):
+        modulus = (1 << 32) - 5
+        a = b = modulus - 1
+        c = Circuit()
+        r = mulmod(c, BigNum.witness(c, a, 2), BigNum.witness(c, b, 2), modulus)
+        assert r.value() == a * b % modulus
+        assert _compiles_satisfied(c)
+
+    def test_limb_mismatch_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            mulmod(c, BigNum.witness(c, 1, 2), BigNum.witness(c, 1, 3), 97)
+
+    def test_cheating_witness_breaks_constraints(self):
+        """Tampering the remainder after synthesis must unsatisfy the system."""
+        modulus = 1000003
+        c = Circuit()
+        a = BigNum.witness(c, 777, 2)
+        b = BigNum.witness(c, 888, 2)
+        r = mulmod(c, a, b, modulus)
+        r1cs, pub, wit = c.compile()
+        z = r1cs.assemble_z(pub, wit)
+        assert r1cs.is_satisfied(z)
+        # Flip the low limb of r in the witness.
+        low_limb_var = r.limbs[0].lc
+        (var_index,) = low_limb_var.terms.keys()
+        half = r1cs.shape.half
+        z2 = z.copy()
+        z2[half + var_index - c._num_public] ^= 1
+        assert not r1cs.is_satisfied(z2)
+
+
+class TestAssertLess:
+    def test_holds(self):
+        c = Circuit()
+        a = BigNum.witness(c, 500, 2)
+        assert_less_than_const(c, a, 501)
+        assert _compiles_satisfied(c)
+
+    def test_violation_raises_at_synthesis(self):
+        c = Circuit()
+        a = BigNum.witness(c, 501, 2)
+        with pytest.raises(ValueError):
+            assert_less_than_const(c, a, 501)
+
+
+class TestModExp:
+    @pytest.mark.parametrize("exponent", [1, 2, 3, 17, 65537])
+    def test_matches_pow(self, exponent):
+        rng = random.Random(exponent)
+        modulus = 0xFFFF_FFFB  # prime < 2^32
+        base = rng.randrange(1, modulus)
+        c = Circuit()
+        b = BigNum.witness(c, base, 2)
+        r = modexp(c, b, exponent, modulus)
+        assert r.value() == pow(base, exponent, modulus)
+        assert _compiles_satisfied(c)
+
+    def test_bad_exponent_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            modexp(c, BigNum.witness(c, 2, 2), 0, 97)
+
+    def test_constraint_count_scales_with_exponent_bits(self):
+        modulus = 0xFFFF_FFFB
+        counts = []
+        for e in (3, 17, 257):
+            c = Circuit()
+            modexp(c, BigNum.witness(c, 5, 2), e, modulus)
+            counts.append(c.num_constraints)
+        assert counts[0] < counts[1] < counts[2]

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.log_n == 24
+        assert args.hbm == 1.0
+        assert not args.no_recompute
+
+    def test_prove_choices(self):
+        args = build_parser().parse_args(["prove", "aes"])
+        assert args.workload == "aes"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prove", "nonsense"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--log-n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "constraints" in out
+        assert "sumcheck" in out
+
+    def test_simulate_scaled(self, capsys):
+        assert main(["simulate", "--log-n", "20", "--hbm", "0.5"]) == 0
+        base = capsys.readouterr().out
+        assert "W" in base
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "Total NoCap" in out
+        assert "45.8" in out
+
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table IV" in out and "Table V" in out
+        assert "586x" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity"]) == 0
+        out = capsys.readouterr().out
+        assert "arith" in out and "hbm" in out
+
+    def test_prove(self, capsys):
+        assert main(["prove", "auction"]) == 0
+        out = capsys.readouterr().out
+        assert "valid: True" in out

@@ -1,0 +1,33 @@
+"""Run every example script end to end — the examples double as
+integration tests of the public API."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+EXPECTED_MARKERS = {
+    "quickstart.py": "proof verified",
+    "photo_crop.py": "crop proof verified",
+    "sealed_bid_auction.py": "auction proof verified",
+    "verifiable_database.py": "transaction batch proof verified",
+    "private_membership.py": "membership proof verified",
+    "accelerator_explorer.py": "Pareto frontier",
+}
+
+
+def test_every_example_has_expectations():
+    assert {p.name for p in EXAMPLES} == set(EXPECTED_MARKERS)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run([sys.executable, str(script)],
+                            capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_MARKERS[script.name] in result.stdout, \
+        result.stdout[-2000:]

@@ -1,0 +1,45 @@
+"""Tests for the ASCII figure rendering helpers."""
+
+import pytest
+
+from repro.analysis.figures import ascii_bar_chart, ascii_line_chart
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        out = ascii_line_chart({"a": [(1, 1), (2, 2)], "b": [(1, 2), (2, 1)]},
+                               title="T")
+        assert "T" in out
+        assert "o=a" in out and "*=b" in out
+        assert "o" in out and "*" in out
+
+    def test_log_x(self):
+        out = ascii_line_chart({"s": [(0.25, 1), (4.0, 2)]}, log_x=True)
+        assert "0.25" in out and "4" in out
+
+    def test_empty(self):
+        assert ascii_line_chart({}, title="empty") == "empty"
+
+    def test_single_point(self):
+        out = ascii_line_chart({"p": [(5, 7)]})
+        assert "o" in out
+
+    def test_dimensions(self):
+        out = ascii_line_chart({"a": [(0, 0), (1, 1)]}, width=30, height=8)
+        # title absent: height rows + axis + labels + legend
+        assert len(out.splitlines()) == 8 + 3
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = ascii_bar_chart({"big": 10.0, "small": 1.0}, width=20, unit="W")
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+        assert "10W" in lines[0]
+
+    def test_empty(self):
+        assert ascii_bar_chart({}, title="t") == "t"
+
+    def test_zero_value(self):
+        out = ascii_bar_chart({"z": 0.0, "x": 1.0})
+        assert "z" in out

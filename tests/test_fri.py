@@ -1,0 +1,192 @@
+"""Tests for the FRI low-degree test (the STARK-family primitive)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.field import vector as fv
+from repro.field.goldilocks import MODULUS
+from repro.hashing import Transcript
+from repro.hashing.fieldhash import hash_elements
+from repro.hashing.merkle import MerkleTree
+from repro.ntt.roots import primitive_root
+from repro.pcs.fri import (
+    FriParams,
+    FriProof,
+    FriProver,
+    FriQueryStep,
+    FriVerifier,
+    _fold_layer,
+    fri_prover_tasks,
+)
+
+PARAMS = FriParams(num_queries=20)
+
+
+def _roundtrip(n, rng, params=PARAMS):
+    coeffs = [int(x) for x in fv.rand_vector(n, rng)]
+    proof = FriProver(params).prove(coeffs, Transcript())
+    return coeffs, proof
+
+
+class TestFolding:
+    def test_fold_preserves_low_degree(self, rng):
+        """Folding a degree-<n codeword yields a degree-<n/2 codeword."""
+        from repro.ntt.polymul import poly_eval_domain
+        from repro.ntt.radix2 import intt
+
+        coeffs = fv.rand_vector(16, rng)
+        values = poly_eval_domain(coeffs, 64)
+        beta = 12345
+        folded = _fold_layer(values, beta, primitive_root(64))
+        back = intt(folded)
+        assert not back[8:].any()  # degree < 8
+
+    def test_fold_combines_even_odd(self, rng):
+        """folded = even_part + beta * odd_part as polynomials."""
+        from repro.ntt.polymul import poly_eval_domain
+        from repro.ntt.radix2 import intt
+
+        coeffs = fv.rand_vector(8, rng)
+        values = poly_eval_domain(coeffs, 32)
+        beta = 999
+        folded_coeffs = intt(_fold_layer(values, beta, primitive_root(32)))
+        for k in range(4):
+            want = (int(coeffs[2 * k]) + beta * int(coeffs[2 * k + 1])) % MODULUS
+            assert int(folded_coeffs[k]) == want
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("n", [8, 16, 64, 128])
+    def test_honest_prover_accepted(self, n, rng):
+        _, proof = _roundtrip(n, rng)
+        assert FriVerifier(PARAMS).verify(n, proof, Transcript())
+
+    def test_non_power_of_two_degree(self, rng):
+        coeffs = [int(x) for x in fv.rand_vector(20, rng)]  # pads to 32
+        proof = FriProver(PARAMS).prove(coeffs, Transcript())
+        assert FriVerifier(PARAMS).verify(20, proof, Transcript())
+
+    def test_proof_size_accounting(self, rng):
+        _, proof = _roundtrip(64, rng)
+        assert proof.size_bytes() > 0
+        fewer = FriParams(num_queries=5)
+        _, small = _roundtrip(64, rng, fewer)
+        assert small.size_bytes() < proof.size_bytes()
+
+
+class TestRejections:
+    def test_wrong_degree_claim(self, rng):
+        _, proof = _roundtrip(64, rng)
+        assert not FriVerifier(PARAMS).verify(32, proof, Transcript())
+        assert not FriVerifier(PARAMS).verify(128, proof, Transcript())
+
+    def test_tampered_final_coefficients(self, rng):
+        _, proof = _roundtrip(64, rng)
+        bad = copy.deepcopy(proof)
+        bad.final_coefficients[0] = (bad.final_coefficients[0] + 1) % MODULUS
+        assert not FriVerifier(PARAMS).verify(64, bad, Transcript())
+
+    def test_tampered_layer_value(self, rng):
+        _, proof = _roundtrip(64, rng)
+        bad = copy.deepcopy(proof)
+        bad.queries[3][0].value = (bad.queries[3][0].value + 1) % MODULUS
+        assert not FriVerifier(PARAMS).verify(64, bad, Transcript())
+
+    def test_tampered_sibling(self, rng):
+        _, proof = _roundtrip(64, rng)
+        bad = copy.deepcopy(proof)
+        bad.queries[0][0].sibling = (bad.queries[0][0].sibling + 1) % MODULUS
+        assert not FriVerifier(PARAMS).verify(64, bad, Transcript())
+
+    def test_tampered_root(self, rng):
+        _, proof = _roundtrip(64, rng)
+        bad = copy.deepcopy(proof)
+        bad.layer_roots[0] = b"\x00" * 32
+        assert not FriVerifier(PARAMS).verify(64, bad, Transcript())
+
+    def test_missing_layer(self, rng):
+        _, proof = _roundtrip(64, rng)
+        bad = copy.deepcopy(proof)
+        bad.layer_roots.pop()
+        assert not FriVerifier(PARAMS).verify(64, bad, Transcript())
+
+    def test_high_degree_cheater_caught(self, rng):
+        """A prover committing to a *random* word (far from low-degree)
+        and truncating the final coefficients is caught by the queries."""
+        p = PARAMS
+        domain_size = p.blowup * 64
+        values = fv.rand_vector(domain_size, rng)  # not a codeword
+
+        # Replay the prover's commit phase on the bogus word.
+        transcript = Transcript()
+        layers, trees, roots = [], [], []
+        gen = primitive_root(domain_size)
+        current = values
+        bound = 64
+        while bound > p.stop_degree:
+            tree = MerkleTree([hash_elements(np.array([v], dtype=np.uint64))
+                               for v in current])
+            layers.append(current)
+            trees.append(tree)
+            roots.append(tree.root)
+            transcript.absorb_digest(b"fri/root", tree.root)
+            beta = transcript.challenge_field(b"fri/beta")
+            current = _fold_layer(current, beta, gen)
+            gen = gen * gen % MODULUS
+            bound //= 2
+        from repro.ntt.radix2 import intt
+
+        final = [int(c) for c in intt(current)[: p.stop_degree]]  # truncated!
+        transcript.absorb_fields(b"fri/final", final)
+        indices = transcript.challenge_indices(b"fri/queries",
+                                               p.num_queries, domain_size)
+        queries = []
+        for idx in indices:
+            chain, i = [], idx
+            for layer, tree in zip(layers, trees):
+                half = len(layer) // 2
+                i %= half
+                chain.append(FriQueryStep(int(layer[i]), int(layer[i + half]),
+                                          tree.open(i), tree.open(i + half)))
+            queries.append(chain)
+        forged = FriProof(roots, final, queries)
+        assert not FriVerifier(p).verify(64, forged, Transcript())
+
+
+class TestNoCapTasks:
+    def test_task_families(self):
+        tasks = fri_prover_tasks(1 << 20)
+        fams = {t.family for t in tasks}
+        assert fams == {"rs_encode", "merkle"}
+
+    def test_costs_scale(self):
+        small = sum(t.hash_elements for t in fri_prover_tasks(1 << 16))
+        large = sum(t.hash_elements for t in fri_prover_tasks(1 << 20))
+        assert large > 10 * small
+
+    def test_simulates_on_nocap(self):
+        from repro.nocap import NoCapSimulator
+
+        tasks = fri_prover_tasks(1 << 22)
+        report = NoCapSimulator().simulate_tasks(tasks, 1 << 22)
+        assert report.total_seconds > 0
+        assert report.time_by_family["merkle"] > 0
+
+
+class TestDegenerateBound:
+    def test_degree_at_stop_threshold(self, rng):
+        """degree_bound == stop_degree: no fold layers; the coefficients
+        are the message and the proof is trivially accepted."""
+        coeffs = [int(x) for x in fv.rand_vector(PARAMS.stop_degree, rng)]
+        proof = FriProver(PARAMS).prove(coeffs, Transcript())
+        assert proof.layer_roots == []
+        assert FriVerifier(PARAMS).verify(PARAMS.stop_degree, proof,
+                                          Transcript())
+
+    def test_degenerate_wrong_bound_rejected(self, rng):
+        coeffs = [int(x) for x in fv.rand_vector(PARAMS.stop_degree, rng)]
+        proof = FriProver(PARAMS).prove(coeffs, Transcript())
+        # Claiming a larger bound requires layers that are absent.
+        assert not FriVerifier(PARAMS).verify(64, proof, Transcript())

@@ -1,0 +1,168 @@
+"""Direct tests for the bit-vector gadget library behind AES and SHA."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.r1cs import Circuit
+from repro.r1cs.gadgets import (
+    add_mod,
+    assert_bits_equal,
+    bits_and,
+    bits_not,
+    bits_rotr,
+    bits_select,
+    bits_shr,
+    bits_to_field,
+    bits_value,
+    bits_xor,
+    const_bits,
+    public_bits,
+    witness_bits,
+)
+
+u32 = st.integers(0, (1 << 32) - 1)
+u8 = st.integers(0, 255)
+
+
+def _satisfied(circuit):
+    r1cs, pub, wit = circuit.compile()
+    return r1cs.is_satisfied(r1cs.assemble_z(pub, wit))
+
+
+class TestAllocation:
+    def test_witness_bits_roundtrip(self):
+        c = Circuit()
+        bits = witness_bits(c, 0b1011_0010, 8)
+        assert bits_value(bits) == 0b1011_0010
+        assert _satisfied(c)
+
+    def test_public_bits(self):
+        c = Circuit()
+        bits = public_bits(c, 5, 4)
+        assert bits_value(bits) == 5
+        assert _satisfied(c)
+
+    def test_const_bits_free(self):
+        c = Circuit()
+        bits = const_bits(c, 0xAB, 8)
+        assert bits_value(bits) == 0xAB
+        assert c.num_constraints == 0
+
+    def test_overflow_rejected(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            witness_bits(c, 256, 8)
+
+
+class TestBitwiseOps:
+    @given(u8, u8)
+    def test_xor(self, a, b):
+        c = Circuit()
+        out = bits_xor(c, witness_bits(c, a, 8), witness_bits(c, b, 8))
+        assert bits_value(out) == a ^ b
+
+    @given(u8, u8)
+    def test_and(self, a, b):
+        c = Circuit()
+        out = bits_and(c, witness_bits(c, a, 8), witness_bits(c, b, 8))
+        assert bits_value(out) == a & b
+
+    @given(u8)
+    def test_not(self, a):
+        c = Circuit()
+        out = bits_not(c, witness_bits(c, a, 8))
+        assert bits_value(out) == a ^ 0xFF
+
+    def test_xor_with_constant_costs_nothing(self):
+        c = Circuit()
+        a = witness_bits(c, 0x5A, 8)
+        before = c.num_constraints
+        out = bits_xor(c, a, const_bits(c, 0x0F, 8))
+        assert bits_value(out) == 0x5A ^ 0x0F
+        assert c.num_constraints == before
+
+    @given(u32, st.integers(0, 31))
+    def test_rotr_matches_reference(self, x, k):
+        c = Circuit()
+        bits = witness_bits(c, x, 32)
+        out = bits_rotr(bits, k)
+        want = ((x >> k) | (x << (32 - k))) & 0xFFFFFFFF
+        assert bits_value(out) == want
+
+    @given(u32, st.integers(0, 32))
+    def test_shr_matches_reference(self, x, k):
+        c = Circuit()
+        bits = witness_bits(c, x, 32)
+        out = bits_shr(c, bits, k)
+        assert bits_value(out) == x >> k
+
+    def test_rotations_are_free(self):
+        c = Circuit()
+        bits = witness_bits(c, 0x1234, 16)
+        before = c.num_constraints
+        bits_rotr(bits, 5)
+        bits_shr(c, bits, 3)
+        assert c.num_constraints == before
+
+
+class TestArithmetic:
+    @given(u32, u32)
+    def test_add_two(self, a, b):
+        c = Circuit()
+        out = add_mod(c, [witness_bits(c, a, 32), witness_bits(c, b, 32)], 32)
+        assert bits_value(out) == (a + b) & 0xFFFFFFFF
+        assert _satisfied(c)
+
+    def test_add_five_words(self):
+        rng = random.Random(1)
+        words = [rng.getrandbits(32) for _ in range(5)]
+        c = Circuit()
+        out = add_mod(c, [witness_bits(c, w, 32) for w in words], 32)
+        assert bits_value(out) == sum(words) & 0xFFFFFFFF
+        assert _satisfied(c)
+
+    def test_add_width_mismatch(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            add_mod(c, [witness_bits(c, 1, 8), witness_bits(c, 1, 16)], 8)
+
+    def test_add_empty(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            add_mod(c, [], 8)
+
+
+class TestSelectAndEquality:
+    def test_bits_select(self):
+        c = Circuit()
+        cond = c.witness(1)
+        c.assert_bool(cond)
+        t = witness_bits(c, 0xAA, 8)
+        f = witness_bits(c, 0x55, 8)
+        assert bits_value(bits_select(c, cond, t, f)) == 0xAA
+        cond0 = c.witness(0)
+        c.assert_bool(cond0)
+        assert bits_value(bits_select(c, cond0, t, f)) == 0x55
+        assert _satisfied(c)
+
+    def test_assert_bits_equal(self):
+        c = Circuit()
+        a = witness_bits(c, 77, 8)
+        b = witness_bits(c, 77, 8)
+        assert_bits_equal(c, a, b)
+        assert _satisfied(c)
+
+    def test_assert_bits_equal_fails_on_mismatch(self):
+        c = Circuit()
+        a = witness_bits(c, 77, 8)
+        b = witness_bits(c, 78, 8)
+        assert_bits_equal(c, a, b)
+        assert not _satisfied(c)
+
+    def test_bits_to_field(self):
+        c = Circuit()
+        bits = witness_bits(c, 300, 12)
+        assert bits_to_field(c, bits).value == 300

@@ -1,0 +1,295 @@
+"""Tests for field hashing, Merkle trees, and the Fiat-Shamir transcript."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field import vector as fv
+from repro.field.goldilocks import MODULUS
+from repro.hashing import (
+    DIGEST_BYTES,
+    MerkleTree,
+    Transcript,
+    elements_to_words,
+    hash_elements,
+    hash_pair,
+    verify_column,
+    verify_path,
+)
+
+
+class TestFieldHash:
+    def test_word_packing(self):
+        elems = np.arange(8, dtype=np.uint64)
+        words = elements_to_words(elems)
+        assert len(words) == 2
+        assert all(len(w) == DIGEST_BYTES for w in words)
+        # little-endian u64 packing
+        assert words[0][:8] == (0).to_bytes(8, "little")
+        assert words[1][:8] == (4).to_bytes(8, "little")
+
+    def test_word_packing_pads_tail(self):
+        words = elements_to_words(np.array([1, 2, 3, 4, 5], dtype=np.uint64))
+        assert len(words) == 2
+        assert words[1][8:] == b"\x00" * 24
+
+    def test_hash_elements_deterministic(self, rng):
+        v = fv.rand_vector(16, rng)
+        assert hash_elements(v) == hash_elements(v.copy())
+
+    def test_hash_elements_sensitive(self, rng):
+        v = fv.rand_vector(16, rng)
+        w = v.copy()
+        w[7] ^= np.uint64(1)
+        assert hash_elements(v) != hash_elements(w)
+
+    def test_hash_pair_is_sha3(self):
+        import hashlib
+
+        a, b = b"x" * 32, b"y" * 32
+        assert hash_pair(a, b) == hashlib.sha3_256(a + b).digest()
+
+
+class TestMerkle:
+    def test_single_leaf(self):
+        t = MerkleTree([b"\x01" * 32])
+        assert t.depth == 0
+        assert verify_path(t.root, b"\x01" * 32, t.open(0))
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 17])
+    def test_open_verify_all_leaves(self, n):
+        leaves = [bytes([i]) * 32 for i in range(n)]
+        t = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert verify_path(t.root, leaf, t.open(i)), i
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [bytes([i]) * 32 for i in range(8)]
+        t = MerkleTree(leaves)
+        path = t.open(3)
+        assert not verify_path(t.root, leaves[4], path)
+
+    def test_wrong_index_rejected(self):
+        leaves = [bytes([i]) * 32 for i in range(8)]
+        t = MerkleTree(leaves)
+        path = t.open(3)
+        path.index = 5
+        assert not verify_path(t.root, leaves[3], path)
+
+    def test_tampered_sibling_rejected(self):
+        leaves = [bytes([i]) * 32 for i in range(8)]
+        t = MerkleTree(leaves)
+        path = t.open(2)
+        path.siblings[1] = b"\xff" * 32
+        assert not verify_path(t.root, leaves[2], path)
+
+    def test_out_of_range_open(self):
+        t = MerkleTree([b"\x00" * 32] * 4)
+        with pytest.raises(IndexError):
+            t.open(4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MerkleTree([])
+
+    def test_from_columns(self, rng):
+        mat = fv.rand_vector(8 * 16, rng).reshape(8, 16)
+        t = MerkleTree.from_columns(mat)
+        assert t.num_leaves == 16
+        for j in range(16):
+            assert verify_column(t.root, mat[:, j], t.open(j))
+        # A tampered column fails.
+        bad = mat[:, 3].copy()
+        bad[0] ^= np.uint64(1)
+        assert not verify_column(t.root, bad, t.open(3))
+
+    def test_total_hashes(self):
+        t = MerkleTree([bytes([i]) * 32 for i in range(8)])
+        # 4 + 2 + 1 internal hash layers.
+        assert t.total_hashes() == 7
+
+    def test_root_depends_on_order(self):
+        a = [bytes([i]) * 32 for i in range(4)]
+        t1 = MerkleTree(a)
+        t2 = MerkleTree(list(reversed(a)))
+        assert t1.root != t2.root
+
+
+class TestTranscript:
+    def test_deterministic(self):
+        t1, t2 = Transcript(), Transcript()
+        for t in (t1, t2):
+            t.absorb_field(b"x", 42)
+        assert t1.challenge_field(b"c") == t2.challenge_field(b"c")
+
+    def test_absorption_changes_challenges(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_field(b"x", 42)
+        t2.absorb_field(b"x", 43)
+        assert t1.challenge_field(b"c") != t2.challenge_field(b"c")
+
+    def test_label_separation(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_bytes(b"a", b"xy")
+        t2.absorb_bytes(b"ax", b"y")
+        assert t1.challenge_field(b"c") != t2.challenge_field(b"c")
+
+    def test_challenges_in_field(self):
+        t = Transcript()
+        for c in t.challenge_fields(b"many", 100):
+            assert 0 <= c < MODULUS
+
+    def test_sequential_challenges_differ(self):
+        t = Transcript()
+        a = t.challenge_field(b"c")
+        b = t.challenge_field(b"c")
+        assert a != b
+
+    def test_challenge_vector_matches_fields(self):
+        t1, t2 = Transcript(), Transcript()
+        v = t1.challenge_vector(b"v", 5)
+        f = t2.challenge_fields(b"v", 5)
+        assert v.tolist() == f
+
+    def test_indices_distinct_and_bounded(self):
+        t = Transcript()
+        idx = t.challenge_indices(b"q", 50, 1000)
+        assert len(idx) == 50
+        assert len(set(idx)) == 50
+        assert all(0 <= i < 1000 for i in idx)
+
+    def test_indices_small_domain_returns_all(self):
+        t = Transcript()
+        assert t.challenge_indices(b"q", 50, 10) == list(range(10))
+
+    def test_indices_bad_bound(self):
+        with pytest.raises(ValueError):
+            Transcript().challenge_indices(b"q", 5, 0)
+
+    def test_fork_independence(self):
+        t = Transcript()
+        t.absorb_field(b"x", 1)
+        f1 = t.fork(b"a")
+        f2 = t.fork(b"b")
+        assert f1.challenge_field(b"c") != f2.challenge_field(b"c")
+        # Forking does not disturb the parent.
+        t2 = Transcript()
+        t2.absorb_field(b"x", 1)
+        assert t.challenge_field(b"c") == t2.challenge_field(b"c")
+
+    def test_absorb_array_matches_fields(self, rng):
+        v = fv.rand_vector(8, rng)
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_array(b"v", v)
+        t2.absorb_bytes(b"v", v.astype("<u8").tobytes())
+        assert t1.challenge_field(b"c") == t2.challenge_field(b"c")
+
+
+class TestKeccakFromScratch:
+    """The from-scratch SHA3 (what the Hash FU computes) vs hashlib."""
+
+    @pytest.mark.parametrize("msg", [b"", b"abc", b"a" * 135, b"a" * 136,
+                                     b"a" * 137, bytes(range(200))])
+    def test_matches_hashlib(self, msg):
+        import hashlib
+
+        from repro.hashing.keccak import sha3_256 as scratch
+
+        assert scratch(msg) == hashlib.sha3_256(msg).digest()
+
+    def test_permutation_shape_check(self):
+        from repro.hashing.keccak import keccak_f1600
+
+        with pytest.raises(ValueError):
+            keccak_f1600([0] * 24)
+
+    def test_permutation_changes_state(self):
+        from repro.hashing.keccak import keccak_f1600
+
+        out = keccak_f1600([0] * 25)
+        assert out != [0] * 25
+        # Deterministic.
+        assert keccak_f1600([0] * 25) == out
+
+
+class TestMerkleMultiProof:
+    def _tree(self, n=37):
+        leaves = [bytes([i]) * 32 for i in range(n)]
+        return leaves, MerkleTree(leaves)
+
+    def test_roundtrip_random_subsets(self, pyrng):
+        from repro.hashing.merkle import open_many, verify_many
+
+        leaves, tree = self._tree()
+        for _ in range(10):
+            idxs = sorted(set(pyrng.randrange(37)
+                              for _ in range(pyrng.randrange(1, 10))))
+            proof = open_many(tree, idxs)
+            digests = [leaves[i] for i in proof.indices]
+            assert verify_many(tree.root, digests, proof, tree.num_leaves)
+
+    def test_single_leaf_equals_path(self):
+        from repro.hashing.merkle import open_many, verify_many
+
+        leaves, tree = self._tree(8)
+        proof = open_many(tree, [3])
+        assert verify_many(tree.root, [leaves[3]], proof, 8)
+
+    def test_all_leaves_no_siblings_needed(self):
+        from repro.hashing.merkle import open_many, verify_many
+
+        leaves, tree = self._tree(8)
+        proof = open_many(tree, range(8))
+        assert proof.nodes == []  # everything derivable
+        assert verify_many(tree.root, leaves, proof, 8)
+
+    def test_smaller_than_individual_paths(self):
+        from repro.hashing.merkle import open_many
+
+        leaves, tree = self._tree(64)
+        idxs = list(range(0, 64, 3))
+        proof = open_many(tree, idxs)
+        individual = sum(tree.open(i).size_bytes() for i in idxs)
+        assert proof.size_bytes() < individual / 2
+
+    def test_tampered_leaf_rejected(self):
+        from repro.hashing.merkle import open_many, verify_many
+
+        leaves, tree = self._tree()
+        proof = open_many(tree, [2, 9])
+        digests = [leaves[2], b"\xff" * 32]
+        assert not verify_many(tree.root, digests, proof, tree.num_leaves)
+
+    def test_wrong_count_rejected(self):
+        from repro.hashing.merkle import open_many, verify_many
+
+        leaves, tree = self._tree()
+        proof = open_many(tree, [2, 9])
+        assert not verify_many(tree.root, [leaves[2]], proof, tree.num_leaves)
+
+    def test_truncated_nodes_rejected(self):
+        from repro.hashing.merkle import open_many, verify_many
+
+        leaves, tree = self._tree()
+        proof = open_many(tree, [5])
+        proof.nodes.pop()
+        assert not verify_many(tree.root, [leaves[5]], proof, tree.num_leaves)
+
+    def test_out_of_range_rejected(self):
+        from repro.hashing.merkle import open_many
+
+        _, tree = self._tree(8)
+        with pytest.raises(IndexError):
+            open_many(tree, [8])
+
+
+class TestCompressionAccounting:
+    """Pin the functional hash packing to the Hash-FU cost accounting."""
+
+    @pytest.mark.parametrize("n,calls", [(1, 1), (4, 1), (5, 1), (8, 1),
+                                         (9, 2), (12, 2), (16, 3), (128, 31)])
+    def test_call_counts(self, n, calls):
+        from repro.hashing.fieldhash import compression_calls_for_elements
+
+        assert compression_calls_for_elements(n) == calls

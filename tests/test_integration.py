@@ -1,0 +1,129 @@
+"""Cross-module integration tests: every demo workload proven end to end
+through the full Spartan+Orion pipeline, plus cross-layer consistency
+between the functional layer and the performance model."""
+
+import numpy as np
+import pytest
+
+from repro.opcount import OpCount
+from repro.snark import PAPER, TEST, Snark, proof_from_bytes, proof_to_bytes
+from repro.workloads import PAPER_WORKLOADS
+
+
+class TestAllWorkloadsProve:
+    """Each paper workload's demo circuit round-trips through the SNARK."""
+
+    @pytest.mark.parametrize("name", ["AES", "SHA", "RSA", "Litmus", "Auction"])
+    def test_prove_verify_serialize(self, name):
+        spec = next(w for w in PAPER_WORKLOADS if w.name == name)
+        circuit = spec.build_demo()
+        snark = Snark.from_circuit(circuit, preset=TEST,
+                                   rng=np.random.default_rng(1))
+        bundle = snark.prove()
+        assert snark.verify(bundle), name
+        restored = proof_from_bytes(proof_to_bytes(bundle.proof))
+        assert snark.verify_raw(bundle.public, restored), name
+
+
+class TestPaperPreset:
+    def test_paper_parameters_prove_small_circuit(self):
+        """The full 128-bit parameterization (3 repetitions, 128 rows,
+        189 queries) works end to end on a small instance."""
+        from repro.r1cs import Circuit
+
+        c = Circuit()
+        out = c.public(35)
+        x = c.witness(3)
+        c.assert_equal(c.mul(c.mul(x, x), x) + x + 5, out)
+        snark = Snark.from_circuit(c, preset=PAPER,
+                                   rng=np.random.default_rng(2))
+        bundle = snark.prove()
+        assert snark.verify(bundle)
+        assert len(bundle.proof.repetitions) == 3
+
+
+class TestCrossLayerConsistency:
+    def test_functional_hash_packing_matches_hash_fu_model(self):
+        """The functional layer's hash packing (4 elements per 256-bit
+        word) matches the Hash FU's 128-elements-per-cycle model: one
+        1 KB line is 128 elements = 32 words."""
+        from repro.hashing.fieldhash import ELEMENTS_PER_WORD
+
+        assert 128 * 8 == 1024  # 1 KB/cycle
+        assert ELEMENTS_PER_WORD == 4
+
+    def test_cost_model_query_params_match_functional_defaults(self):
+        """The PAPER preset and the cost-model constants agree."""
+        from repro.nocap import constants as C
+
+        assert PAPER.sumcheck_repetitions == C.SUMCHECK_REPETITIONS
+        assert PAPER.pcs_rows == C.ORION_ROWS
+        assert PAPER.multiset_hash_instances == C.MULTISET_HASH_INSTANCES
+
+    def test_rs_code_cost_matches_ntt_structure(self):
+        """The RS cost model's butterfly count equals the functional
+        radix-2 NTT's actual multiply count."""
+        from repro.code import ReedSolomonCode
+
+        n = 1 << 10
+        cost = ReedSolomonCode().encoding_cost(n)
+        codeword = 4 * n
+        butterflies = (codeword // 2) * (codeword.bit_length() - 1)
+        assert cost.mul == butterflies
+
+    def test_opcount_arithmetic(self):
+        a = OpCount(mul=3, add=1, mem_read_bytes=10)
+        b = OpCount(mul=2, hash_words=5, mem_write_bytes=4)
+        s = a + b
+        assert s.mul == 5 and s.add == 1 and s.hash_words == 5
+        assert s.mem_bytes == 14
+        assert a.scaled(3).mul == 9
+
+    def test_sumcheck_proof_size_vs_model(self):
+        """A functional sumcheck's message volume matches the analytic
+        accounting (rounds x (degree+1) evaluations)."""
+        from repro.field import vector as fv
+        from repro.hashing import Transcript
+        from repro.multilinear import prove_sumcheck
+
+        rng = np.random.default_rng(3)
+        tables = [fv.rand_vector(1 << 8, rng) for _ in range(3)]
+        proof, _ = prove_sumcheck(tables, Transcript())
+        assert proof.size_bytes() == 8 * (8 * 4 + 3)
+
+
+class TestAlternativeCodes:
+    def test_spartan_with_expander_code(self):
+        """The PCS is code-agnostic: the full SNARK round-trips over the
+        expander-graph code Orion originally used."""
+        from repro.code import ExpanderCode
+        from repro.hashing import Transcript
+        from repro.pcs import OrionPCS, PCSParams
+        from repro.spartan import SpartanParams, SpartanProver, SpartanVerifier
+        from repro.workloads import synthetic_r1cs
+
+        r1cs, pub, wit = synthetic_r1cs(6, band=8, seed=77)
+        code = ExpanderCode()
+        code.num_queries = 24  # keep the test fast
+        pcs = OrionPCS(code=code, params=PCSParams(num_rows=8),
+                       rng=np.random.default_rng(4))
+        params = SpartanParams(repetitions=1)
+        proof = SpartanProver(r1cs, pcs, params).prove(pub, wit)
+        assert SpartanVerifier(r1cs, pcs, params).verify(pub, proof)
+
+
+class TestConfigImmutability:
+    def test_config_is_frozen(self):
+        from dataclasses import FrozenInstanceError
+
+        from repro.nocap import DEFAULT_CONFIG
+
+        with pytest.raises(FrozenInstanceError):
+            DEFAULT_CONFIG.mul_lanes = 1  # type: ignore[misc]
+
+    def test_scale_returns_new_instance(self):
+        from repro.nocap import DEFAULT_CONFIG
+
+        scaled = DEFAULT_CONFIG.scale(hbm=2.0)
+        assert scaled is not DEFAULT_CONFIG
+        assert DEFAULT_CONFIG.hbm_bytes_per_s == 1e12

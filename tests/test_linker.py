@@ -1,0 +1,63 @@
+"""Tests for the task linker (Sec. VII): macro-op program composition and
+cross-checks against the task-level model."""
+
+import pytest
+
+from repro.nocap import DEFAULT_CONFIG, NoCapSimulator
+from repro.nocap.isa import Opcode
+from repro.nocap.linker import (
+    link_prover_program,
+    simulate_linked_prover,
+)
+
+
+class TestProgramComposition:
+    def test_program_builds(self):
+        prog = link_prover_program(1 << 12)
+        assert len(prog) > 100
+        opcodes = {ins.opcode for ins in prog.instructions}
+        # Every primitive appears in the linked prover.
+        for op in (Opcode.VLOAD, Opcode.VSTORE, Opcode.VADD, Opcode.VMUL,
+                   Opcode.VHASH, Opcode.VNTT, Opcode.VSHUF):
+            assert op in opcodes, op
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            link_prover_program(1000)
+
+    def test_oversized_statement_rejected(self):
+        with pytest.raises(ValueError):
+            link_prover_program(1 << 17)
+
+    def test_repetitions_grow_program(self):
+        one = link_prover_program(1 << 12, repetitions=1)
+        three = link_prover_program(1 << 12, repetitions=3)
+        assert len(three) > 2 * len(one)
+
+
+class TestScheduledExecution:
+    def test_schedules_and_uses_all_units(self):
+        _, sch = simulate_linked_prover(1 << 12)
+        assert sch.makespan > 0
+        for unit in ("mul", "add", "hash", "ntt", "shuffle", "mem"):
+            assert sch.busy_cycles.get(unit, 0) > 0, unit
+
+    def test_makespan_grows_with_statement(self):
+        _, small = simulate_linked_prover(1 << 12)
+        _, big = simulate_linked_prover(1 << 14)
+        assert big.makespan > 1.5 * small.makespan
+
+    def test_within_band_of_task_model(self):
+        """The instruction-level schedule and the task-level model agree
+        to within a small factor on an on-chip statement (the task model
+        additionally charges the Spark sumchecks the linker omits)."""
+        _, sch = simulate_linked_prover(1 << 12, repetitions=1)
+        rep = NoCapSimulator(DEFAULT_CONFIG).simulate(1 << 12, repetitions=1)
+        ratio = rep.total_cycles / sch.makespan
+        assert 0.5 < ratio < 6.0
+
+    def test_wider_arithmetic_helps(self):
+        _, base = simulate_linked_prover(1 << 14)
+        _, wide = simulate_linked_prover(1 << 14,
+                                         DEFAULT_CONFIG.scale(arith=4.0))
+        assert wide.makespan <= base.makespan

@@ -1,0 +1,58 @@
+"""Tests for the rack-scale multi-accelerator projection (Sec. X)."""
+
+import pytest
+
+from repro.nocap.multiaccelerator import (
+    RackOperatingPoint,
+    rack_scale,
+    scaling_curve,
+)
+
+N = 550_000_000
+
+
+class TestRackScale:
+    def test_single_chip_is_baseline(self):
+        p = rack_scale(N, 1)
+        assert p.speedup == 1.0
+        assert p.aggregation_seconds == 0.0
+        assert p.total_seconds == p.single_chip_seconds
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            rack_scale(N, 0)
+
+    def test_two_chips_near_perfect(self):
+        """Padding asymmetry (2^30 -> 2 x 2^29) plus mild superlinearity
+        makes 2-way sharding at least ~95% efficient."""
+        p = rack_scale(N, 2)
+        assert p.efficiency > 0.95
+
+    def test_speedup_monotone_to_knee(self):
+        curve = scaling_curve(N, accelerator_counts=[1, 2, 4, 8, 16])
+        speedups = [p.speedup for p in curve]
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+
+    def test_efficiency_eventually_degrades(self):
+        small = rack_scale(N, 4)
+        big = rack_scale(N, 64)
+        assert big.efficiency < small.efficiency
+
+    def test_aggregation_grows_with_shards(self):
+        assert rack_scale(N, 32).aggregation_seconds > \
+            rack_scale(N, 4).aggregation_seconds
+
+    def test_communication_negligible(self):
+        """Sec. X: 'with little communication among them'."""
+        p = rack_scale(N, 64)
+        assert p.communication_seconds < 0.01 * p.total_seconds
+
+    def test_total_decomposition(self):
+        p = rack_scale(N, 8)
+        assert p.total_seconds == pytest.approx(
+            p.shard_seconds + p.aggregation_seconds + p.communication_seconds)
+
+    def test_small_statement_does_not_shard_well(self):
+        """For small statements the fixed aggregation cost dominates."""
+        p = rack_scale(16_000_000, 64)
+        assert p.efficiency < 0.2

@@ -1,0 +1,103 @@
+"""Tests for dense univariate polynomials and interpolation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.goldilocks import MODULUS
+from repro.field.poly import (
+    Polynomial,
+    evaluate_on_range,
+    interpolate,
+    interpolate_eval,
+)
+
+felt = st.integers(0, MODULUS - 1)
+coeff_lists = st.lists(felt, min_size=1, max_size=8)
+
+
+class TestPolynomial:
+    def test_normalization(self):
+        assert Polynomial([1, 2, 0, 0]).coeffs == [1, 2]
+        assert Polynomial([0, 0]).coeffs == [0]
+        assert Polynomial([0]).is_zero()
+        assert Polynomial([0]).degree == 0
+
+    @given(coeff_lists, coeff_lists)
+    def test_add_evaluates_pointwise(self, a, b):
+        pa, pb = Polynomial(a), Polynomial(b)
+        s = pa + pb
+        for x in (0, 1, 12345):
+            assert s.evaluate(x) == (pa.evaluate(x) + pb.evaluate(x)) % MODULUS
+
+    @given(coeff_lists, coeff_lists)
+    def test_mul_evaluates_pointwise(self, a, b):
+        pa, pb = Polynomial(a), Polynomial(b)
+        p = pa * pb
+        for x in (0, 1, 7, MODULUS - 3):
+            assert p.evaluate(x) == pa.evaluate(x) * pb.evaluate(x) % MODULUS
+
+    @given(coeff_lists, coeff_lists)
+    def test_sub_then_add_roundtrip(self, a, b):
+        pa, pb = Polynomial(a), Polynomial(b)
+        assert (pa - pb) + pb == pa
+
+    def test_scale(self):
+        p = Polynomial([1, 2, 3]).scale(10)
+        assert p.coeffs == [10, 20, 30]
+
+    def test_mul_by_zero(self):
+        p = Polynomial([1, 2, 3])
+        assert (p * Polynomial.zero()).is_zero()
+
+    def test_constant(self):
+        assert Polynomial.constant(7).evaluate(1234) == 7
+
+    def test_horner_known_value(self):
+        # 2 + 3x + x^2 at x = 10 -> 132
+        assert Polynomial([2, 3, 1]).evaluate(10) == 132
+
+
+class TestInterpolation:
+    def test_exact_on_points(self, pyrng):
+        xs = list(range(20))
+        ys = [pyrng.randrange(MODULUS) for _ in xs]
+        p = interpolate(xs, ys)
+        assert p.degree <= 19
+        for x, y in zip(xs, ys):
+            assert p.evaluate(x) == y
+
+    @given(st.lists(felt, min_size=2, max_size=6, unique=True),
+           st.data())
+    def test_interpolate_degree_bound(self, xs, data):
+        ys = data.draw(st.lists(felt, min_size=len(xs), max_size=len(xs)))
+        p = interpolate(xs, ys)
+        assert p.degree <= len(xs) - 1
+        for x, y in zip(xs, ys):
+            assert p.evaluate(x) == y
+
+    def test_interpolate_recovers_polynomial(self, pyrng):
+        coeffs = [pyrng.randrange(MODULUS) for _ in range(8)]
+        src = Polynomial(coeffs)
+        xs = list(range(8))
+        p = interpolate(xs, [src.evaluate(x) for x in xs])
+        assert p == src
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate([1, 1], [2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            interpolate([1, 2], [3])
+
+    def test_interpolate_eval_matches_full(self, pyrng):
+        xs = [0, 1, 2, 3]
+        ys = [pyrng.randrange(MODULUS) for _ in xs]
+        p = interpolate(xs, ys)
+        for x in (17, MODULUS - 2, 5):
+            assert interpolate_eval(xs, ys, x) == p.evaluate(x)
+
+    def test_evaluate_on_range(self):
+        p = Polynomial([5, 1])  # 5 + x
+        assert evaluate_on_range(p, 4) == [5, 6, 7, 8]

@@ -1,0 +1,156 @@
+"""Tests for the Poseidon-style field-friendly hash (native + gadget)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.field.goldilocks import MODULUS
+from repro.hashing import poseidon
+from repro.r1cs import Circuit
+from repro.r1cs.poseidon_gadget import (
+    hash2_gadget,
+    merkle_verify_gadget,
+    permutation_gadget,
+)
+
+felt = st.integers(0, MODULUS - 1)
+
+
+class TestNative:
+    def test_deterministic(self):
+        assert poseidon.hash2(1, 2) == poseidon.hash2(1, 2)
+
+    def test_order_sensitive(self):
+        assert poseidon.hash2(1, 2) != poseidon.hash2(2, 1)
+
+    @given(felt, felt)
+    def test_output_in_field(self, a, b):
+        assert 0 <= poseidon.hash2(a, b) < MODULUS
+
+    def test_sbox_is_permutation_exponent(self):
+        # gcd(7, p-1) == 1 so x^7 is a bijection.
+        import math
+
+        assert math.gcd(poseidon.ALPHA, MODULUS - 1) == 1
+
+    def test_permutation_invertible_mix(self):
+        # The mix matrix I + J has determinant != 0 mod p.
+        import numpy as np
+
+        m = [[2, 1, 1], [1, 2, 1], [1, 1, 2]]
+        det = (m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+               - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+               + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]))
+        assert det % MODULUS != 0
+
+    def test_avalanche(self):
+        a = poseidon.hash2(0, 0)
+        b = poseidon.hash2(1, 0)
+        # Any difference should look random; check many bits flip.
+        assert bin(a ^ b).count("1") > 16
+
+    def test_hash_many_length_separated(self):
+        assert poseidon.hash_many([1, 2, 3]) != poseidon.hash_many([1, 2, 3, 0])
+        assert poseidon.hash_many([]) != poseidon.hash_many([0])
+
+    def test_permutation_shape_check(self):
+        with pytest.raises(ValueError):
+            poseidon.permutation([1, 2])
+
+    def test_round_constants_in_field(self):
+        for row in poseidon.ROUND_CONSTANTS:
+            assert len(row) == poseidon.WIDTH
+            assert all(0 <= c < MODULUS for c in row)
+        assert len(poseidon.ROUND_CONSTANTS) == (
+            poseidon.FULL_ROUNDS + poseidon.PARTIAL_ROUNDS)
+
+
+class TestMerkle:
+    def test_root_and_paths(self):
+        leaves = [i * 7 + 1 for i in range(16)]
+        root = poseidon.merkle_root(leaves)
+        for i in range(16):
+            path = poseidon.merkle_path(leaves, i)
+            assert len(path) == 4
+            assert poseidon.merkle_verify(root, leaves[i], i, path)
+
+    def test_wrong_leaf_rejected(self):
+        leaves = [1, 2, 3, 4]
+        root = poseidon.merkle_root(leaves)
+        path = poseidon.merkle_path(leaves, 2)
+        assert not poseidon.merkle_verify(root, 99, 2, path)
+
+    def test_wrong_index_rejected(self):
+        leaves = [1, 2, 3, 4]
+        root = poseidon.merkle_root(leaves)
+        path = poseidon.merkle_path(leaves, 2)
+        assert not poseidon.merkle_verify(root, leaves[2], 3, path)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            poseidon.merkle_root([1, 2, 3])
+
+    def test_path_index_bounds(self):
+        with pytest.raises(IndexError):
+            poseidon.merkle_path([1, 2], 2)
+
+
+class TestGadget:
+    def test_permutation_matches_native(self):
+        circuit = Circuit()
+        state = [circuit.witness(v) for v in (5, 6, 7)]
+        out = permutation_gadget(circuit, state)
+        assert [w.value for w in out] == poseidon.permutation([5, 6, 7])
+        r1cs, pub, wit = circuit.compile()
+        assert r1cs.is_satisfied(r1cs.assemble_z(pub, wit))
+
+    def test_permutation_constraint_count(self):
+        """4 muls per S-box: 4 * (3*RF + RP) = 184 constraints."""
+        circuit = Circuit()
+        state = [circuit.witness(v) for v in (1, 2, 3)]
+        permutation_gadget(circuit, state)
+        expected = 4 * (3 * poseidon.FULL_ROUNDS + poseidon.PARTIAL_ROUNDS)
+        assert circuit.num_constraints == expected
+
+    @given(felt, felt)
+    def test_hash2_matches_native(self, a, b):
+        circuit = Circuit()
+        h = hash2_gadget(circuit, circuit.witness(a), circuit.witness(b))
+        assert h.value == poseidon.hash2(a, b)
+
+    def test_merkle_gadget_accepts_valid_path(self):
+        leaves = [i + 100 for i in range(8)]
+        root = poseidon.merkle_root(leaves)
+        index = 6
+        circuit = Circuit()
+        root_w = circuit.public(root)
+        leaf = circuit.witness(leaves[index])
+        bits = [circuit.witness((index >> k) & 1) for k in range(3)]
+        for b in bits:
+            circuit.assert_bool(b)
+        sibs = [circuit.witness(s)
+                for s in poseidon.merkle_path(leaves, index)]
+        merkle_verify_gadget(circuit, root_w, leaf, bits, sibs)
+        r1cs, pub, wit = circuit.compile()
+        assert r1cs.is_satisfied(r1cs.assemble_z(pub, wit))
+
+    def test_merkle_gadget_rejects_wrong_root(self):
+        leaves = [i + 100 for i in range(8)]
+        root = poseidon.merkle_root(leaves)
+        circuit = Circuit()
+        root_w = circuit.public((root + 1) % MODULUS)
+        leaf = circuit.witness(leaves[0])
+        bits = [circuit.witness(0) for _ in range(3)]
+        for b in bits:
+            circuit.assert_bool(b)
+        sibs = [circuit.witness(s) for s in poseidon.merkle_path(leaves, 0)]
+        merkle_verify_gadget(circuit, root_w, leaf, bits, sibs)
+        r1cs, pub, wit = circuit.compile()
+        assert not r1cs.is_satisfied(r1cs.assemble_z(pub, wit))
+
+    def test_merkle_gadget_depth_mismatch(self):
+        circuit = Circuit()
+        with pytest.raises(ValueError):
+            merkle_verify_gadget(circuit, circuit.constant(0),
+                                 circuit.constant(0),
+                                 [circuit.constant(0)], [])

@@ -1,0 +1,108 @@
+"""Cross-cutting property-based tests (hypothesis) on the protocol stack:
+randomized round-trips and invariants that single-example tests miss."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import vector as fv
+from repro.field.goldilocks import MODULUS
+from repro.hashing import Transcript
+from repro.multilinear import eq_table, fold, mle_eval, prove_sumcheck, verify_sumcheck
+from repro.snark import proof_from_bytes, proof_to_bytes
+
+felt = st.integers(0, MODULUS - 1)
+
+
+class TestFieldProperties:
+    @given(st.lists(felt, min_size=1, max_size=32), felt)
+    def test_scalar_distributes_over_vector_sum(self, xs, k):
+        v = np.array(xs, dtype=np.uint64)
+        lhs = fv.vsum(fv.mul_scalar(v, k))
+        rhs = k * fv.vsum(v) % MODULUS
+        assert lhs == rhs
+
+    @given(st.lists(felt, min_size=2, max_size=32))
+    def test_dot_is_symmetric(self, xs):
+        half = len(xs) // 2
+        a = np.array(xs[:half], dtype=np.uint64)
+        b = np.array(xs[half : 2 * half], dtype=np.uint64)
+        assert fv.dot(a, b) == fv.dot(b, a)
+
+
+class TestMLEProperties:
+    @given(st.lists(felt, min_size=8, max_size=8),
+           st.lists(felt, min_size=3, max_size=3))
+    def test_mle_is_multilinear_in_each_variable(self, table, point):
+        """P(r) is an affine function of each coordinate: evaluating at
+        three collinear values of one variable is consistent."""
+        t = np.array(table, dtype=np.uint64)
+        r0, r1, r2 = point
+        vals = {}
+        for x in (0, 1, 2):
+            vals[x] = mle_eval(t, [x, r1, r2])
+        # Affine: f(2) = 2*f(1) - f(0).
+        assert vals[2] == (2 * vals[1] - vals[0]) % MODULUS
+
+    @given(st.lists(felt, min_size=4, max_size=4))
+    def test_eq_table_is_multiplicative(self, point):
+        """eq over a concatenated point is the tensor product."""
+        a, b = point[:2], point[2:]
+        full = eq_table(point)
+        ta, tb = eq_table(a), eq_table(b)
+        outer = np.array([[int(x) * int(y) % MODULUS for y in tb]
+                          for x in ta], dtype=np.uint64).reshape(-1)
+        assert (full == outer).all()
+
+    @given(st.lists(felt, min_size=16, max_size=16), felt, felt)
+    def test_fold_commutes_with_linearity(self, table, r, k):
+        t = np.array(table, dtype=np.uint64)
+        lhs = fold(fv.mul_scalar(t, k), r)
+        rhs = fv.mul_scalar(fold(t, r), k)
+        assert (lhs == rhs).all()
+
+
+class TestSumcheckProperties:
+    @settings(max_examples=10)
+    @given(st.integers(2, 4), st.integers(1, 3), st.integers(0, 2**32))
+    def test_random_instances_roundtrip(self, log_n, degree, seed):
+        rng = np.random.default_rng(seed)
+        tables = [fv.rand_vector(1 << log_n, rng) for _ in range(degree)]
+        prod = tables[0]
+        for t in tables[1:]:
+            prod = fv.mul(prod, t)
+        claim = fv.vsum(prod)
+        proof, chal = prove_sumcheck(tables, Transcript())
+        res = verify_sumcheck(claim, proof, degree, Transcript())
+        assert res.ok
+        for t, v in zip(tables, proof.final_values):
+            assert mle_eval(t, chal) == v
+
+    @settings(max_examples=10)
+    @given(st.integers(0, 2**32), st.integers(1, 2**62))
+    def test_wrong_claims_always_rejected(self, seed, delta):
+        rng = np.random.default_rng(seed)
+        tables = [fv.rand_vector(8, rng)]
+        claim = fv.vsum(tables[0])
+        proof, _ = prove_sumcheck(tables, Transcript())
+        wrong = (claim + delta) % MODULUS
+        if wrong != claim:
+            assert not verify_sumcheck(wrong, proof, 1, Transcript()).ok
+
+
+class TestSerializationProperties:
+    @settings(max_examples=8)
+    @given(st.integers(0, 2**32))
+    def test_random_proofs_roundtrip(self, seed):
+        from repro.pcs import OrionPCS, PCSParams
+        from repro.spartan import SpartanParams, SpartanProver, SpartanVerifier
+        from repro.workloads import synthetic_r1cs
+
+        r1cs, pub, wit = synthetic_r1cs(4, band=4, seed=seed)
+        pcs = OrionPCS(params=PCSParams(num_rows=4),
+                       rng=np.random.default_rng(seed))
+        params = SpartanParams(repetitions=1)
+        proof = SpartanProver(r1cs, pcs, params).prove(pub, wit)
+        restored = proof_from_bytes(proof_to_bytes(proof))
+        assert proof_to_bytes(restored) == proof_to_bytes(proof)
+        assert SpartanVerifier(r1cs, pcs, params).verify(pub, restored)

@@ -1,0 +1,131 @@
+"""Tests for the high-level SNARK facade and proof serialization."""
+
+import numpy as np
+import pytest
+
+from repro.r1cs import Circuit
+from repro.snark import (
+    PAPER,
+    TEST,
+    ProofBundle,
+    Snark,
+    proof_from_bytes,
+    proof_to_bytes,
+    prove_and_verify,
+)
+
+
+def _circuit(x=3, out=35):
+    c = Circuit()
+    o = c.public(out)
+    w = c.witness(x)
+    c.assert_equal(c.mul(c.mul(w, w), w) + w + 5, o)
+    return c
+
+
+class TestSnarkFacade:
+    def test_prove_and_verify(self):
+        bundle = prove_and_verify(_circuit())
+        assert bundle.size_bytes() > 0
+
+    def test_from_circuit_captures_assignment(self):
+        snark = Snark.from_circuit(_circuit())
+        bundle = snark.prove()
+        assert snark.verify(bundle)
+
+    def test_explicit_assignment(self):
+        circuit = _circuit()
+        r1cs, pub, wit = circuit.compile()
+        snark = Snark(r1cs, TEST)
+        bundle = snark.prove(pub, wit)
+        assert snark.verify(bundle)
+
+    def test_missing_assignment_raises(self):
+        circuit = _circuit()
+        r1cs, _, _ = circuit.compile()
+        snark = Snark(r1cs, TEST)
+        with pytest.raises(ValueError):
+            snark.prove()
+
+    def test_wrong_public_rejected(self):
+        snark = Snark.from_circuit(_circuit())
+        bundle = snark.prove()
+        bad = ProofBundle(proof=bundle.proof, public=bundle.public.copy())
+        bad.public[1] = 36
+        assert not snark.verify(bad)
+
+    def test_presets(self):
+        assert PAPER.sumcheck_repetitions == 3
+        assert PAPER.pcs_rows == 128
+        assert PAPER.column_queries == 189
+        assert PAPER.rs_blowup == 4
+        assert PAPER.proximity_vectors == 4
+        assert PAPER.multiset_hash_instances == 4
+        assert TEST.sumcheck_repetitions == 1
+
+    def test_preset_factories(self):
+        pcs = PAPER.make_pcs()
+        assert pcs.params.num_rows == 128
+        assert pcs.code.num_queries == 189
+        assert PAPER.make_spartan_params().repetitions == 3
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        snark = Snark.from_circuit(_circuit())
+        bundle = snark.prove()
+        data = proof_to_bytes(bundle.proof)
+        restored = proof_from_bytes(data)
+        assert snark.verify_raw(bundle.public, restored)
+
+    def test_roundtrip_stable(self):
+        snark = Snark.from_circuit(_circuit())
+        bundle = snark.prove()
+        data = proof_to_bytes(bundle.proof)
+        assert proof_to_bytes(proof_from_bytes(data)) == data
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            proof_from_bytes(b"XXXX" + b"\x00" * 100)
+
+    def test_bad_version(self):
+        snark = Snark.from_circuit(_circuit())
+        data = bytearray(proof_to_bytes(snark.prove().proof))
+        data[4] = 99
+        with pytest.raises(ValueError):
+            proof_from_bytes(bytes(data))
+
+    def test_truncated(self):
+        snark = Snark.from_circuit(_circuit())
+        data = proof_to_bytes(snark.prove().proof)
+        with pytest.raises(ValueError):
+            proof_from_bytes(data[: len(data) // 2])
+
+    def test_trailing_garbage(self):
+        snark = Snark.from_circuit(_circuit())
+        data = proof_to_bytes(snark.prove().proof)
+        with pytest.raises(ValueError):
+            proof_from_bytes(data + b"\x00")
+
+    def test_corruption_detected(self):
+        """Any single-byte corruption either fails to parse or fails to
+        verify (sampled offsets)."""
+        snark = Snark.from_circuit(_circuit())
+        bundle = snark.prove()
+        data = proof_to_bytes(bundle.proof)
+        for offset in range(10, len(data), max(1, len(data) // 12)):
+            corrupted = bytearray(data)
+            corrupted[offset] ^= 0xFF
+            try:
+                proof = proof_from_bytes(bytes(corrupted))
+            except (ValueError, OverflowError):
+                continue
+            assert not snark.verify_raw(bundle.public, proof), offset
+
+    def test_wire_size_matches_accounting_order(self):
+        snark = Snark.from_circuit(_circuit())
+        bundle = snark.prove()
+        data = proof_to_bytes(bundle.proof)
+        # Wire format carries framing, so it is somewhat larger than the
+        # raw payload accounting but within 2x.
+        assert bundle.proof.size_bytes() < len(data) < 2 * bundle.proof.size_bytes() + 256

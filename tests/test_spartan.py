@@ -1,0 +1,206 @@
+"""End-to-end tests for the Spartan+Orion zk-SNARK."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.field import vector as fv
+from repro.field.goldilocks import MODULUS
+from repro.hashing import Transcript
+from repro.multilinear import eq_table
+from repro.pcs import OrionPCS, PCSParams
+from repro.r1cs import Circuit
+from repro.spartan import (
+    SpartanParams,
+    SpartanProver,
+    SpartanVerifier,
+    combined_matrix_eval,
+    combined_matrix_row,
+    matrix_mle_eval,
+)
+from repro.workloads import synthetic_r1cs
+
+
+def _cubic_circuit():
+    c = Circuit()
+    out = c.public(35)
+    x = c.witness(3)
+    c.assert_equal(c.mul(c.mul(x, x), x) + x + 5, out)
+    return c.compile()
+
+
+def _pcs(seed=1):
+    return OrionPCS(params=PCSParams(num_rows=8),
+                    rng=np.random.default_rng(seed))
+
+
+def _prove(r1cs, pub, wit, reps=1, seed=1):
+    params = SpartanParams(repetitions=reps)
+    prover = SpartanProver(r1cs, _pcs(seed), params)
+    verifier = SpartanVerifier(r1cs, _pcs(seed), params)
+    proof = prover.prove(pub, wit, Transcript())
+    return proof, verifier
+
+
+class TestMatrixEval:
+    def test_matches_dense_mle(self, rng):
+        r1cs, pub, wit = synthetic_r1cs(4, band=4, seed=1)
+        z = r1cs.assemble_z(pub, wit)
+        log_n = r1cs.shape.log_size
+        rx = [int(x) for x in fv.rand_vector(log_n, rng)]
+        ry = [int(x) for x in fv.rand_vector(log_n, rng)]
+        # Flattened dense MLE evaluation as oracle.
+        from repro.multilinear import mle_eval
+
+        dense = np.zeros((r1cs.shape.num_constraints,
+                          r1cs.shape.num_constraints), dtype=np.uint64)
+        for r, c, v in r1cs.a.entries():
+            dense[r, c] = (int(dense[r, c]) + v) % MODULUS
+        flat = dense.reshape(-1)
+        assert matrix_mle_eval(r1cs.a, rx, ry) == mle_eval(flat, rx + ry)
+
+    def test_combined_matches_individual(self, rng):
+        r1cs, _, _ = synthetic_r1cs(4, band=4, seed=2)
+        log_n = r1cs.shape.log_size
+        rx = [int(x) for x in fv.rand_vector(log_n, rng)]
+        ry = [int(x) for x in fv.rand_vector(log_n, rng)]
+        ra, rb, rc = 3, 5, 7
+        want = (ra * matrix_mle_eval(r1cs.a, rx, ry)
+                + rb * matrix_mle_eval(r1cs.b, rx, ry)
+                + rc * matrix_mle_eval(r1cs.c, rx, ry)) % MODULUS
+        assert combined_matrix_eval(r1cs.a, r1cs.b, r1cs.c, ra, rb, rc,
+                                    rx, ry) == want
+
+    def test_combined_row_consistency(self, rng):
+        """The sumcheck-2 factor table evaluated at ry must equal the
+        combined matrix MLE at (rx, ry)."""
+        from repro.multilinear import mle_eval
+
+        r1cs, _, _ = synthetic_r1cs(4, band=4, seed=3)
+        log_n = r1cs.shape.log_size
+        rx = [int(x) for x in fv.rand_vector(log_n, rng)]
+        ry = [int(x) for x in fv.rand_vector(log_n, rng)]
+        row = combined_matrix_row(r1cs.a, r1cs.b, r1cs.c, 3, 5, 7, rx)
+        assert mle_eval(row, ry) == combined_matrix_eval(
+            r1cs.a, r1cs.b, r1cs.c, 3, 5, 7, rx, ry)
+
+    def test_dimension_check(self, rng):
+        r1cs, _, _ = synthetic_r1cs(4, seed=4)
+        with pytest.raises(ValueError):
+            matrix_mle_eval(r1cs.a, [1, 2], [1, 2, 3, 4])
+
+
+class TestSpartanEndToEnd:
+    def test_cubic_circuit(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, verifier = _prove(r1cs, pub, wit)
+        assert verifier.verify(pub, proof, Transcript())
+
+    def test_synthetic_instances(self):
+        for log_size in (3, 5, 7):
+            r1cs, pub, wit = synthetic_r1cs(log_size, band=8, seed=log_size)
+            proof, verifier = _prove(r1cs, pub, wit)
+            assert verifier.verify(pub, proof, Transcript()), log_size
+
+    def test_three_repetitions(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, verifier = _prove(r1cs, pub, wit, reps=3)
+        assert len(proof.repetitions) == 3
+        assert verifier.verify(pub, proof, Transcript())
+
+    def test_repetition_count_checked(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, _ = _prove(r1cs, pub, wit, reps=2)
+        strict = SpartanVerifier(r1cs, _pcs(), SpartanParams(repetitions=3))
+        assert not strict.verify(pub, proof, Transcript())
+
+    def test_invalid_witness_raises(self):
+        r1cs, pub, wit = _cubic_circuit()
+        bad = wit.copy()
+        bad[0] = 4
+        prover = SpartanProver(r1cs, _pcs(), SpartanParams(repetitions=1))
+        with pytest.raises(ValueError):
+            prover.prove(pub, bad, Transcript())
+
+    def test_wrong_public_input_rejected(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, verifier = _prove(r1cs, pub, wit)
+        bad = pub.copy()
+        bad[1] = 36
+        assert not verifier.verify(bad, proof, Transcript())
+
+    def test_wrong_public_length_rejected(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, verifier = _prove(r1cs, pub, wit)
+        assert not verifier.verify(pub[:-1], proof, Transcript())
+
+
+class TestSpartanTamperResistance:
+    @pytest.fixture
+    def setup(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, verifier = _prove(r1cs, pub, wit)
+        return proof, verifier, pub
+
+    def test_tampered_va(self, setup):
+        proof, verifier, pub = setup
+        bad = copy.deepcopy(proof)
+        bad.repetitions[0].va = (bad.repetitions[0].va + 1) % MODULUS
+        assert not verifier.verify(pub, bad, Transcript())
+
+    def test_tampered_vc(self, setup):
+        proof, verifier, pub = setup
+        bad = copy.deepcopy(proof)
+        bad.repetitions[0].vc = (bad.repetitions[0].vc + 1) % MODULUS
+        assert not verifier.verify(pub, bad, Transcript())
+
+    def test_tampered_sc1_round(self, setup):
+        proof, verifier, pub = setup
+        bad = copy.deepcopy(proof)
+        bad.repetitions[0].sc1_round_evals[0][2] = (
+            bad.repetitions[0].sc1_round_evals[0][2] + 1) % MODULUS
+        assert not verifier.verify(pub, bad, Transcript())
+
+    def test_tampered_sc2_final(self, setup):
+        proof, verifier, pub = setup
+        bad = copy.deepcopy(proof)
+        bad.repetitions[0].sc2.final_values[0] = (
+            bad.repetitions[0].sc2.final_values[0] + 1) % MODULUS
+        assert not verifier.verify(pub, bad, Transcript())
+
+    def test_tampered_w_eval(self, setup):
+        proof, verifier, pub = setup
+        bad = copy.deepcopy(proof)
+        bad.repetitions[0].w_eval = (bad.repetitions[0].w_eval + 1) % MODULUS
+        assert not verifier.verify(pub, bad, Transcript())
+
+    def test_tampered_commitment(self, setup):
+        proof, verifier, pub = setup
+        bad = copy.deepcopy(proof)
+        bad.witness_commitment.root = b"\x11" * 32
+        assert not verifier.verify(pub, bad, Transcript())
+
+    def test_proof_from_other_statement_rejected(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, verifier = _prove(r1cs, pub, wit)
+        # A different (satisfiable) instance's proof must not verify here.
+        r2, pub2, wit2 = synthetic_r1cs(7, seed=7)
+        proof2, _ = _prove(r2, pub2, wit2)
+        assert not verifier.verify(pub, proof2, Transcript())
+
+
+class TestProofSize:
+    def test_size_accounting(self):
+        r1cs, pub, wit = _cubic_circuit()
+        proof, _ = _prove(r1cs, pub, wit)
+        assert proof.size_bytes() > 32
+        assert proof.size_bytes() == (
+            proof.witness_commitment.size_bytes()
+            + sum(r.size_bytes() for r in proof.repetitions))
+
+    def test_size_grows_with_repetitions(self):
+        r1cs, pub, wit = _cubic_circuit()
+        p1, _ = _prove(r1cs, pub, wit, reps=1)
+        p3, _ = _prove(r1cs, pub, wit, reps=3)
+        assert p3.size_bytes() > 2.5 * p1.size_bytes()
