@@ -9,7 +9,19 @@ from __future__ import annotations
 
 import pathlib
 
+import pytest
+
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench`` so a combined run can
+    stay fast with ``-m "not bench"`` (tier-1 ``testpaths`` already excludes
+    this directory)."""
+    here = pathlib.Path(__file__).parent
+    for item in items:
+        if here in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 def emit(name: str, text: str) -> None:

@@ -30,7 +30,12 @@ class LinearCode(abc.ABC):
         """Encode one message vector (power-of-two length) into a codeword."""
 
     def encode_rows(self, matrix: np.ndarray) -> np.ndarray:
-        """Encode each row of a 2-D matrix; returns (rows, blowup * cols)."""
+        """Encode each row of a 2-D matrix; returns (rows, blowup * cols).
+
+        Generic per-row fallback; codes whose encoder batches along leading
+        axes (e.g. :class:`ReedSolomonCode`) override this with a single
+        batched call.
+        """
         matrix = np.asarray(matrix, dtype=np.uint64)
         out = np.empty((matrix.shape[0], self.blowup * matrix.shape[1]), dtype=np.uint64)
         for i in range(matrix.shape[0]):

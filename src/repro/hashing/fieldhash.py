@@ -62,6 +62,43 @@ def hash_elements(elements: np.ndarray) -> bytes:
     return acc
 
 
+def hash_columns(matrix: np.ndarray) -> List[bytes]:
+    """Hash every column of a 2-D field matrix to one digest per column.
+
+    Byte-for-byte equivalent to ``[hash_elements(matrix[:, j]) for j]`` —
+    same packing, same left-to-right compression chaining — but the whole
+    matrix is packed with ONE transpose + ``tobytes`` pass, and the chain
+    walks a flat byte buffer.  This is the batched leaf-hashing kernel the
+    Merkle commitment uses (all leaves of a layer stream through the Hash
+    FU together, Sec. IV-B).
+    """
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    if matrix.ndim != 2:
+        raise ValueError("hash_columns expects a 2-D matrix")
+    rows, cols = matrix.shape
+    if rows == 0:
+        return [sha3(b"")] * cols
+    pad = (-rows) % ELEMENTS_PER_WORD
+    packed = np.zeros((cols, rows + pad), dtype="<u8")
+    packed[:, :rows] = matrix.T
+    raw = packed.tobytes()
+    words = (rows + pad) // ELEMENTS_PER_WORD
+    stride = words * DIGEST_BYTES
+    _sha3 = hashlib.sha3_256
+    out: List[bytes] = []
+    if words == 1:
+        zero = b"\x00" * DIGEST_BYTES
+        for base in range(0, cols * stride, stride):
+            out.append(_sha3(raw[base : base + DIGEST_BYTES] + zero).digest())
+        return out
+    for base in range(0, cols * stride, stride):
+        acc = _sha3(raw[base : base + 2 * DIGEST_BYTES]).digest()
+        for off in range(base + 2 * DIGEST_BYTES, base + stride, DIGEST_BYTES):
+            acc = _sha3(acc + raw[off : off + DIGEST_BYTES]).digest()
+        out.append(acc)
+    return out
+
+
 def compression_calls_for_elements(n_elements: int) -> int:
     """Number of Hash-FU pair operations :func:`hash_elements` performs.
 

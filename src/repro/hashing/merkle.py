@@ -7,12 +7,13 @@ leaves against the root with logarithmic-size authentication paths.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Sequence
 
 import numpy as np
 
-from .fieldhash import DIGEST_BYTES, hash_elements, hash_pair
+from .fieldhash import DIGEST_BYTES, hash_columns, hash_elements, hash_pair
 
 _EMPTY_LEAF = b"\x00" * DIGEST_BYTES
 
@@ -35,23 +36,41 @@ class MerklePath:
 class MerkleTree:
     """A binary Merkle tree over a list of leaf digests.
 
+    Layers are stored as CONTIGUOUS byte strings (32 bytes per node) rather
+    than Python lists — each layer is built with one tight loop over a flat
+    buffer, matching how the Hash FU streams a whole layer per pass.
     ``layers[0]`` is the (power-of-two padded) leaf layer; ``layers[-1]``
-    is a single root digest.
+    is the single root digest.
     """
 
     def __init__(self, leaf_digests: Sequence[bytes]):
-        if not leaf_digests:
-            raise ValueError("Merkle tree needs at least one leaf")
-        n = len(leaf_digests)
+        if isinstance(leaf_digests, (bytes, bytearray, memoryview)):
+            raw = bytes(leaf_digests)
+            if len(raw) == 0 or len(raw) % DIGEST_BYTES:
+                raise ValueError("packed leaves must be a non-empty multiple "
+                                 "of the digest size")
+            n = len(raw) // DIGEST_BYTES
+        else:
+            leaves = list(leaf_digests)
+            if not leaves:
+                raise ValueError("Merkle tree needs at least one leaf")
+            n = len(leaves)
+            raw = b"".join(leaves)
+            if len(raw) != n * DIGEST_BYTES:
+                raise ValueError("every leaf digest must be 32 bytes")
         size = 1 if n == 1 else 1 << (n - 1).bit_length()
-        leaves = list(leaf_digests) + [_EMPTY_LEAF] * (size - n)
+        if size > n:
+            raw += _EMPTY_LEAF * (size - n)
         self.num_leaves = n
-        self.layers: List[List[bytes]] = [leaves]
-        current = leaves
-        while len(current) > 1:
-            current = [
-                hash_pair(current[i], current[i + 1]) for i in range(0, len(current), 2)
-            ]
+        self.layers: List[bytes] = [raw]
+        _sha3 = hashlib.sha3_256
+        current = raw
+        while len(current) > DIGEST_BYTES:
+            nxt = bytearray(len(current) // 2)
+            for i in range(0, len(nxt), DIGEST_BYTES):
+                nxt[i : i + DIGEST_BYTES] = _sha3(
+                    current[2 * i : 2 * i + 2 * DIGEST_BYTES]).digest()
+            current = bytes(nxt)
             self.layers.append(current)
 
     @classmethod
@@ -59,16 +78,23 @@ class MerkleTree:
         """Commit to the columns of a 2-D field matrix (one leaf per column).
 
         This is how Orion commits to a Reed-Solomon-encoded coefficient
-        matrix: each codeword column becomes one leaf.
+        matrix: each codeword column becomes one leaf.  Leaves are hashed
+        with the batched :func:`hash_columns` kernel (one packing pass for
+        the whole matrix).
         """
         matrix = np.asarray(matrix, dtype=np.uint64)
         if matrix.ndim != 2:
             raise ValueError("from_columns expects a 2-D matrix")
-        return cls([hash_elements(matrix[:, j]) for j in range(matrix.shape[1])])
+        return cls(hash_columns(matrix))
+
+    def node(self, level: int, index: int) -> bytes:
+        """Digest of node ``index`` in ``layers[level]``."""
+        off = index * DIGEST_BYTES
+        return self.layers[level][off : off + DIGEST_BYTES]
 
     @property
     def root(self) -> bytes:
-        return self.layers[-1][0]
+        return self.layers[-1]
 
     @property
     def depth(self) -> int:
@@ -80,14 +106,14 @@ class MerkleTree:
             raise IndexError(f"leaf index {index} out of range")
         siblings = []
         i = index
-        for layer in self.layers[:-1]:
-            siblings.append(layer[i ^ 1])
+        for level in range(len(self.layers) - 1):
+            siblings.append(self.node(level, i ^ 1))
             i >>= 1
         return MerklePath(index=index, siblings=siblings)
 
     def total_hashes(self) -> int:
         """Pair-hash operations performed building the tree (cost model hook)."""
-        return sum(len(layer) for layer in self.layers[1:])
+        return sum(len(layer) // DIGEST_BYTES for layer in self.layers[1:])
 
 
 @dataclass
@@ -114,13 +140,13 @@ def open_many(tree: "MerkleTree", indices: Sequence[int]) -> MerkleMultiProof:
             raise IndexError(f"leaf index {i} out of range")
     nodes: List[bytes] = []
     frontier = set(idxs)
-    for layer in tree.layers[:-1]:
+    for level in range(len(tree.layers) - 1):
         next_frontier = set()
         for i in sorted(frontier):
             sibling = i ^ 1
             # Ship the sibling only if the verifier cannot derive it.
             if sibling not in frontier:
-                nodes.append(layer[sibling])
+                nodes.append(tree.node(level, sibling))
             next_frontier.add(i // 2)
         frontier = next_frontier
     return MerkleMultiProof(indices=idxs, nodes=nodes)

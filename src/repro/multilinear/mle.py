@@ -32,8 +32,8 @@ def fold(table: np.ndarray, r: int) -> np.ndarray:
     table = np.asarray(table, dtype=np.uint64)
     half = len(table) // 2
     bottom, top = table[:half], table[half:]
-    # bottom + r * (top - bottom)
-    return fv.add(bottom, fv.mul_scalar(fv.sub(top, bottom), r))
+    # bottom + r * (top - bottom), fused multiply-accumulate.
+    return fv.scale_add(bottom, fv.sub(top, bottom), r)
 
 
 def mle_eval(table: np.ndarray, point: Sequence[int]) -> int:
@@ -97,12 +97,14 @@ def tensor_split_eval(table: np.ndarray, row_point: Sequence[int],
 
 
 def combine_rows(matrix: np.ndarray, coeffs: np.ndarray) -> np.ndarray:
-    """Return coeffs^T @ matrix over GF(p) (random row combination)."""
+    """Return coeffs^T @ matrix over GF(p) (random row combination).
+
+    Delegates to the batched :func:`repro.field.vector.vecmat` kernel —
+    one vectorized multiply plus an exact split-accumulate column sum,
+    instead of a Python loop over rows.
+    """
     matrix = np.asarray(matrix, dtype=np.uint64)
     coeffs = np.asarray(coeffs, dtype=np.uint64)
     if matrix.shape[0] != len(coeffs):
         raise ValueError("coefficient count must equal row count")
-    acc = np.zeros(matrix.shape[1], dtype=np.uint64)
-    for i in range(matrix.shape[0]):
-        acc = fv.add(acc, fv.mul_scalar(matrix[i], int(coeffs[i])))
-    return acc
+    return fv.vecmat(coeffs, matrix)

@@ -23,7 +23,6 @@ from ..field import vector as fv
 from ..field.goldilocks import MODULUS
 from ..field.poly import interpolate_eval
 from ..hashing.transcript import Transcript
-from .mle import fold
 
 
 @dataclass
@@ -52,14 +51,42 @@ class SumcheckResult:
     reason: str = ""
 
 
+def _product_sum(factors: Sequence[np.ndarray]) -> int:
+    """vsum(prod_j factors[j]) — one fused pass over the factor vectors.
+
+    Intermediate products stay non-canonical (any uint64 representative):
+    the multiply kernel is exact for arbitrary uint64 inputs and ``vsum``'s
+    split accumulation never needs values below p.
+    """
+    prod = factors[0]
+    for vals in factors[1:]:
+        prod = fv.mul(prod, vals, canonical=False)
+    return fv.vsum(prod)
+
+
 def prove_sumcheck(tables: Sequence[np.ndarray], transcript: Transcript,
-                   label: bytes = b"sumcheck") -> Tuple[SumcheckProof, List[int]]:
+                   label: bytes = b"sumcheck",
+                   claim: int | None = None) -> Tuple[SumcheckProof, List[int]]:
     """Run the prover for sum over the hypercube of prod_j tables[j].
 
     Returns the proof and the challenge vector (for chaining into later
     protocol steps).  Tables are not modified.
+
+    Allocation-lean round structure: each round computes the top-bottom
+    difference of every factor ONCE and reuses it for (a) every t >= 2
+    extension point — reached incrementally by adding the difference, one
+    vector add instead of a scalar multiply — and (b) the fold to the next
+    round's (half-size) tables.  No full-table copies are made; the input
+    tables are only ever read.
+
+    The round polynomial's value at 0 is never computed directly: the
+    sumcheck invariant g(0) + g(1) = claim pins it to claim - g(1), and the
+    reduced claim for the next round follows by interpolating g at the
+    challenge.  Callers that already know the total (``claim``) therefore
+    save one full evaluation pass per round; when omitted it costs one
+    product-sum over the input tables.
     """
-    tables = [np.asarray(t, dtype=np.uint64).copy() for t in tables]
+    tables = [np.asarray(t, dtype=np.uint64) for t in tables]
     n = len(tables[0])
     if any(len(t) != n for t in tables):
         raise ValueError("all factor tables must have equal length")
@@ -67,29 +94,30 @@ def prove_sumcheck(tables: Sequence[np.ndarray], transcript: Transcript,
         raise ValueError("table length must be a power of two")
     num_rounds = n.bit_length() - 1
     degree = len(tables)
+    current = (claim if claim is not None else _product_sum(tables)) % MODULUS
 
+    xs = list(range(degree + 1))
     round_evals: List[List[int]] = []
     challenges: List[int] = []
     for rnd in range(num_rounds):
         half = len(tables[0]) // 2
-        evals = []
-        for t_val in range(degree + 1):
-            prod = None
-            for table in tables:
-                bottom, top = table[:half], table[half:]
-                # value of the factor at (t, b) = bottom + t*(top - bottom)
-                if t_val == 0:
-                    vals = bottom
-                elif t_val == 1:
-                    vals = top
-                else:
-                    vals = fv.add(bottom, fv.mul_scalar(fv.sub(top, bottom), t_val))
-                prod = vals if prod is None else fv.mul(prod, vals)
-            evals.append(fv.vsum(prod))
+        bottoms = [t[:half] for t in tables]
+        tops = [t[half:] for t in tables]
+        diffs = [fv.sub(tp, bt) for tp, bt in zip(tops, bottoms)]
+        # Factor value at (t, b) is bottom + t*diff; t = 1 is a free read
+        # and each further t adds diff to the previous samples.
+        g1 = _product_sum(tops)
+        evals = [(current - g1) % MODULUS, g1]
+        samples = tops
+        for _t_val in range(2, degree + 1):
+            samples = [fv.add(s, d) for s, d in zip(samples, diffs)]
+            evals.append(_product_sum(samples))
         transcript.absorb_fields(label + b"/round%d" % rnd, evals)
         r = transcript.challenge_field(label + b"/r%d" % rnd)
         challenges.append(r)
-        tables = [fold(t, r) for t in tables]
+        current = interpolate_eval(xs, evals, r)
+        # Fold with the precomputed diffs: bottom + r*diff, one fused pass.
+        tables = [fv.scale_add(bt, df, r) for bt, df in zip(bottoms, diffs)]
         round_evals.append(evals)
 
     final_values = [int(t[0]) for t in tables]

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..field import vector as fv
-from .radix2 import intt, ntt
+from .radix2 import intt, ntt, ntt_zero_padded
 
 
 def next_pow2(n: int) -> int:
@@ -37,13 +37,17 @@ def poly_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
 
 
 def poly_eval_domain(coeffs: np.ndarray, domain_size: int) -> np.ndarray:
-    """Evaluate a coefficient vector on the size-``domain_size`` NTT domain.
+    """Evaluate coefficient vectors on the size-``domain_size`` NTT domain.
 
     This is the Reed-Solomon encoding primitive: zero-pad and transform.
+    Accepts any leading batch dimensions — an (rows, n) matrix is padded and
+    transformed along the last axis in ONE radix-2 NTT call, which is how
+    the Orion commitment encodes all rows at once (NoCap's 64-lane NTT FU).
     """
     coeffs = np.asarray(coeffs, dtype=np.uint64)
-    if domain_size < coeffs.size:
+    n = coeffs.shape[-1]
+    if domain_size < n:
         raise ValueError("domain smaller than coefficient vector")
-    padded = np.zeros(domain_size, dtype=np.uint64)
-    padded[: coeffs.size] = coeffs
-    return ntt(padded)
+    # The padding is implicit: ntt_zero_padded skips the stages that would
+    # only shuffle zeros around (one skipped stage per blowup factor).
+    return ntt_zero_padded(coeffs, domain_size)

@@ -36,17 +36,55 @@ def ntt(a: np.ndarray, inverse: bool = False) -> np.ndarray:
         return a.copy()
 
     out = a[..., bit_reverse_indices(n)].copy()
-    stages = twiddle_stages(n, inverse)
-    for s, tw in enumerate(stages):
+    _butterfly_stages(out, twiddle_stages(n, inverse))
+    if inverse:
+        out = fv.mul(out, np.uint64(n_inverse(n)))
+    return out
+
+
+def _butterfly_stages(out: np.ndarray, stages, first_stage: int = 0) -> None:
+    """Run the radix-2 butterfly passes in place, starting at ``first_stage``
+    (callers that know earlier stages are trivial — e.g. zero padding —
+    skip them)."""
+    n = out.shape[-1]
+    for s in range(first_stage, len(stages)):
+        tw = stages[s]
         length = 1 << (s + 1)
         half = length // 2
         shaped = out.reshape(out.shape[:-1] + (n // length, length))
         u = shaped[..., :half].copy()  # copy: the in-place store below would alias it
-        v = fv.mul(shaped[..., half:], tw)
+        if s == 0:
+            v = shaped[..., half:]  # stage-0 twiddle is [1]: skip the multiply
+        else:
+            v = fv.mul(shaped[..., half:], tw)
         shaped[..., :half] = fv.add(u, v)
         shaped[..., half:] = fv.sub(u, v)
-    if inverse:
-        out = fv.mul(out, np.uint64(n_inverse(n)))
+
+
+def ntt_zero_padded(coeffs: np.ndarray, domain_size: int) -> np.ndarray:
+    """Forward NTT of ``coeffs`` zero-padded to ``domain_size``.
+
+    With a power-of-two blowup B, the bit-reversed padded input interleaves
+    each coefficient with B-1 zeros, so the first log2(B) butterfly stages
+    only copy values around: after them, every length-B block holds B
+    copies of one coefficient (in bit-reversed coefficient order).  The
+    fast path therefore starts from ``np.repeat`` of the bit-reversed
+    message and runs just the remaining log2(n) stages — the padding is
+    never materialized and a full mul/add/sub stage per blowup factor is
+    skipped.  This is the Reed-Solomon encoding hot path.
+    """
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    n = coeffs.shape[-1]
+    _check_length(n)
+    _check_length(domain_size)
+    if domain_size < n:
+        raise ValueError("domain smaller than coefficient vector")
+    if domain_size == n:
+        return ntt(coeffs)
+    blowup = domain_size // n
+    out = np.repeat(coeffs[..., bit_reverse_indices(n)], blowup, axis=-1)
+    _butterfly_stages(out, twiddle_stages(domain_size, False),
+                      first_stage=blowup.bit_length() - 1)
     return out
 
 

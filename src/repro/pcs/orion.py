@@ -39,8 +39,13 @@ from ..code.base import LinearCode
 from ..field.goldilocks import MODULUS
 from ..code.reed_solomon import ReedSolomonCode
 from ..field import vector as fv
-from ..hashing.merkle import MerklePath, MerkleTree, verify_path
-from ..hashing.fieldhash import hash_elements
+from ..hashing.merkle import (
+    MerkleMultiProof,
+    MerkleTree,
+    open_many,
+    verify_many,
+)
+from ..hashing.fieldhash import hash_columns
 from ..hashing.transcript import Transcript
 from ..multilinear.mle import combine_rows, eq_table
 
@@ -85,20 +90,27 @@ class _ProverState:
 
 @dataclass
 class OrionEvalProof:
-    """Everything the verifier needs beyond the commitment and the claim."""
+    """Everything the verifier needs beyond the commitment and the claim.
+
+    All opened columns share ONE Merkle multiproof: sibling digests common
+    to several query paths ship once, which both shrinks the proof and
+    removes the per-query path-building loop from ``open``.  ``columns``
+    is ordered by ``merkle.indices`` (sorted, deduplicated); the raw
+    transcript query order is kept in ``query_indices`` for the lockstep
+    Fiat-Shamir check.
+    """
 
     proximity_rows: List[np.ndarray]   # u_k = gamma_k^T M (+ mask)
     eval_row: np.ndarray               # u = eq(q_row)^T M
     query_indices: List[int]
     columns: List[np.ndarray]          # opened codeword columns (incl. mask row)
-    paths: List[MerklePath]
+    merkle: MerkleMultiProof
 
     def size_bytes(self) -> int:
         total = sum(r.size for r in self.proximity_rows) * 8
         total += self.eval_row.size * 8
         total += sum(c.size for c in self.columns) * 8
-        total += sum(p.size_bytes() for p in self.paths)
-        total += len(self.query_indices) * 4
+        total += self.merkle.size_bytes()  # includes 4 bytes per query index
         return total
 
 
@@ -156,13 +168,16 @@ class OrionPCS:
         eval_row = combine_rows(state.matrix, coeffs)
         transcript.absorb_array(b"pcs/eval-row", eval_row)
 
-        # Column queries, shared by all tests.
+        # Column queries, shared by all tests; one multiproof for all paths.
         codeword_len = self.code.codeword_length(cols)
         indices = transcript.challenge_indices(
             b"pcs/queries", self.code.num_queries, codeword_len)
-        columns = [state.codewords[:, j].copy() for j in indices]
-        paths = [state.tree.open(j) for j in indices]
-        return OrionEvalProof(proximity_rows, eval_row, indices, columns, paths)
+        multiproof = open_many(state.tree, indices)
+        opened = state.codewords[:, multiproof.indices]
+        columns = [np.ascontiguousarray(opened[:, k])
+                   for k in range(opened.shape[1])]
+        return OrionEvalProof(proximity_rows, eval_row, indices, columns,
+                              multiproof)
 
     def evaluate_from_row(self, eval_row: np.ndarray,
                           point: Sequence[int], num_rows: int) -> int:
@@ -196,37 +211,47 @@ class OrionPCS:
             b"pcs/queries", self.code.num_queries, codeword_len)
         if indices != proof.query_indices:
             return False
-        if len(proof.columns) != len(indices) or len(proof.paths) != len(indices):
+        if proof.merkle.indices != sorted(set(indices)):
+            return False
+        if len(proof.columns) != len(proof.merkle.indices):
             return False
 
         expected_col_rows = rows + (1 if self._mask_present(proof, rows) else 0)
-        # Encode the claimed combination rows once.
-        prox_codes = [self.code.encode(np.asarray(u, dtype=np.uint64))
-                      for u in proof.proximity_rows]
-        eval_code = self.code.encode(np.asarray(proof.eval_row, dtype=np.uint64))
+        cols_list = [np.asarray(c, dtype=np.uint64) for c in proof.columns]
+        if any(c.shape != (expected_col_rows,) for c in cols_list):
+            return False
+        if any(np.asarray(u, dtype=np.uint64).shape != (cols,)
+               for u in proof.proximity_rows + [proof.eval_row]):
+            return False
+
+        # One multiproof check covers every opened column.
+        cols_mat = np.stack(cols_list, axis=1)
+        if not verify_many(commitment.root, hash_columns(cols_mat),
+                           proof.merkle, codeword_len):
+            return False
+
+        # Encode all claimed combination rows in one batched call.
+        stacked = np.stack([np.asarray(u, dtype=np.uint64)
+                            for u in proof.proximity_rows]
+                           + [np.asarray(proof.eval_row, dtype=np.uint64)])
+        codes = self.code.encode_rows(stacked)
+        prox_codes, eval_code = codes[:-1], codes[-1]
 
         row_point, col_point = self._split_point(point, rows)
         r = eq_table(row_point)
 
-        for j, col, path in zip(indices, proof.columns, proof.paths):
-            col = np.asarray(col, dtype=np.uint64)
-            if col.size != expected_col_rows:
+        qidx = np.asarray(proof.merkle.indices, dtype=np.int64)
+        data = cols_mat[:rows]
+        mask_syms = (cols_mat[rows] if expected_col_rows > rows
+                     else fv.zeros(len(qidx)))
+        # Proximity consistency at every query at once (mask coefficient 1).
+        for gamma, code_row in zip(gammas, prox_codes):
+            rhs = fv.add(fv.vecmat(gamma, data), mask_syms)
+            if (code_row[qidx] != rhs).any():
                 return False
-            if path.index != j:
-                return False
-            if not verify_path(commitment.root, hash_elements(col), path):
-                return False
-            data_col = col[:rows]
-            mask_sym = int(col[rows]) if col.size > rows else 0
-            # Proximity consistency (mask coefficient 1).
-            for gamma, code_row in zip(gammas, prox_codes):
-                lhs = int(code_row[j])
-                rhs = (fv.dot(gamma, data_col) + mask_sym) % MODULUS
-                if lhs != rhs:
-                    return False
-            # Evaluation consistency (mask coefficient 0).
-            if int(eval_code[j]) != fv.dot(r, data_col):
-                return False
+        # Evaluation consistency (mask coefficient 0).
+        if (eval_code[qidx] != fv.vecmat(r, data)).any():
+            return False
 
         # Finally, the claimed value must follow from the evaluation row.
         expected = fv.dot(np.asarray(proof.eval_row, dtype=np.uint64),
@@ -249,6 +274,3 @@ class OrionPCS:
     @staticmethod
     def _mask_present(proof: OrionEvalProof, rows: int) -> bool:
         return bool(proof.columns) and proof.columns[0].size == rows + 1
-
-
-from ..field.goldilocks import MODULUS as MODULUS  # noqa: E402  (bottom to avoid cycle noise)

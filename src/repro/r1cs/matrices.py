@@ -31,6 +31,8 @@ class SparseMatrix:
         self.vals = np.asarray(vals if vals is not None else [], dtype=np.uint64)
         if not (len(self.rows) == len(self.cols) == len(self.vals)):
             raise ValueError("rows, cols, vals must have equal length")
+        self._groups: tuple | None = None      # lazy matvec gather plan
+        self._transposed: "SparseMatrix | None" = None
 
     @classmethod
     def from_entries(cls, num_rows: int, num_cols: int,
@@ -74,10 +76,7 @@ class SparseMatrix:
         starts = np.flatnonzero(new_group)
         lo = np.add.reduceat(vals & np.uint64(0xFFFFFFFF), starts)
         hi = np.add.reduceat(vals >> np.uint64(32), starts)
-        p = np.uint64(MODULUS)
-        lo = np.where(lo >= p, lo - p, lo)
-        hi = np.where(hi >= p, hi - p, hi)
-        summed = fv.add(lo, fv.mul(hi, np.uint64((1 << 32) % MODULUS)))
+        summed = fv.combine_halves(lo, hi)
         keep = summed != 0
         return cls(num_rows, num_cols,
                    rows[starts][keep], cols[starts][keep], summed[keep])
@@ -86,34 +85,68 @@ class SparseMatrix:
     def nnz(self) -> int:
         return len(self.vals)
 
+    def _group_plan(self):
+        """Lazy gather plan for :meth:`matvec`: a permutation bringing the
+        entries into row order, segment starts for ``np.add.reduceat``, and
+        the distinct row ids.  ``order`` is None when the entries are
+        already row-sorted (the :meth:`from_arrays` invariant), skipping
+        the permutation pass entirely."""
+        if self._groups is None:
+            rows = self.rows
+            if len(rows) == 0 or np.all(rows[:-1] <= rows[1:]):
+                order, sorted_rows = None, rows
+            else:
+                order = np.argsort(rows, kind="stable")
+                sorted_rows = rows[order]
+            new_group = np.empty(len(sorted_rows), dtype=bool)
+            new_group[0] = True
+            new_group[1:] = np.diff(sorted_rows) != 0
+            starts = np.flatnonzero(new_group)
+            self._groups = (order, starts, sorted_rows[starts])
+        return self._groups
+
     def matvec(self, x: np.ndarray) -> np.ndarray:
-        """Exact y = M x over GF(p)."""
+        """Exact y = M x over GF(p).
+
+        The scatter-add is a segmented ``np.add.reduceat`` over the
+        row-sorted products: the 32-bit halves of each product are
+        accumulated separately (uint64 holds up to 2^32 such terms), then
+        recombined by :func:`repro.field.vector.combine_halves` (exact for
+        the raw half-sums — no per-half canonicalization needed).
+        """
         x = np.asarray(x, dtype=np.uint64)
         if x.shape[0] != self.num_cols:
             raise ValueError(f"vector length {x.shape[0]} != num_cols {self.num_cols}")
         if self.nnz == 0:
             return np.zeros(self.num_rows, dtype=np.uint64)
-        prods = fv.mul(self.vals, x[self.cols])
-        # Exact vectorized scatter-add: accumulate the 32-bit halves of each
-        # product separately (uint64 holds up to 2^32 such terms), then
-        # recombine modularly.  Any uint64 t < 2p, so one conditional
-        # subtract canonicalizes each partial sum.
-        lo = prods & np.uint64(0xFFFFFFFF)
-        hi = prods >> np.uint64(32)
-        sum_lo = np.zeros(self.num_rows, dtype=np.uint64)
-        sum_hi = np.zeros(self.num_rows, dtype=np.uint64)
-        np.add.at(sum_lo, self.rows, lo)
-        np.add.at(sum_hi, self.rows, hi)
-        p = np.uint64(MODULUS)
-        sum_lo = np.where(sum_lo >= p, sum_lo - p, sum_lo)
-        sum_hi = np.where(sum_hi >= p, sum_hi - p, sum_hi)
-        two32 = np.uint64((1 << 32) % MODULUS)
-        return fv.add(sum_lo, fv.mul(sum_hi, two32))
+        # Non-canonical representatives are fine: the split-accumulate
+        # below is exact for any uint64 terms.
+        prods = fv.mul(self.vals, x[self.cols], canonical=False)
+        order, starts, row_ids = self._group_plan()
+        if order is not None:
+            prods = prods[order]
+        lo_half, hi_half = fv.halves(prods)
+        lo = np.add.reduceat(lo_half, starts, dtype=np.uint64)
+        hi = np.add.reduceat(hi_half, starts, dtype=np.uint64)
+        combined = fv.combine_halves(lo, hi)
+        if len(row_ids) == self.num_rows:
+            # Every row has at least one entry: row_ids is 0..num_rows-1
+            # in order, so the segment sums ARE the output.
+            return combined
+        out = np.zeros(self.num_rows, dtype=np.uint64)
+        out[row_ids] = combined
+        return out
 
     def transpose_matvec(self, x: np.ndarray) -> np.ndarray:
-        """Exact y = M^T x over GF(p)."""
-        return SparseMatrix(self.num_cols, self.num_rows,
-                            self.cols, self.rows, self.vals).matvec(x)
+        """Exact y = M^T x over GF(p).
+
+        The transposed view (and its matvec gather plan) is built once and
+        cached — SparseMatrix instances are treated as immutable.
+        """
+        if self._transposed is None:
+            self._transposed = SparseMatrix(self.num_cols, self.num_rows,
+                                            self.cols, self.rows, self.vals)
+        return self._transposed.matvec(x)
 
     def to_dense(self) -> np.ndarray:
         """Dense object-dtype matrix (tests / tiny systems only)."""
@@ -138,3 +171,63 @@ class SparseMatrix:
         if self.nnz == 0:
             return 0
         return int(np.max(np.abs(self.rows - self.cols)))
+
+
+class StackedMatrices:
+    """The A, B, C matrices of an R1CS stacked for fused SpMV passes.
+
+    Spartan's prover needs all three products A z, B z, C z (sumcheck #1)
+    and the random combination (r_a A + r_b B + r_c C)^T eq (sumcheck #2).
+    Issuing them as three separate SpMVs streams the input vector and the
+    scatter/reduce machinery three times; stacking the coordinate arrays
+    once turns each into a single gather + multiply + segmented-reduce
+    pass — the same batching NoCap gets by time-multiplexing the three
+    matrices through one output-stationary SpMV unit (Sec. V-A).
+    """
+
+    def __init__(self, mats: List[SparseMatrix]):
+        if not mats:
+            raise ValueError("need at least one matrix to stack")
+        n_rows, n_cols = mats[0].num_rows, mats[0].num_cols
+        if any(m.num_rows != n_rows or m.num_cols != n_cols for m in mats):
+            raise ValueError("stacked matrices must share a shape")
+        self.count = len(mats)
+        self.num_rows, self.num_cols = n_rows, n_cols
+        offset_rows = np.concatenate(
+            [m.rows + np.int64(i * n_rows) for i, m in enumerate(mats)])
+        cols = np.concatenate([m.cols for m in mats])
+        vals = np.concatenate([m.vals for m in mats])
+        # Forward: one (count*n_rows) x n_cols matrix whose output slices
+        # are the individual products.  Each member's rows are sorted, and
+        # the offsets keep the concatenation sorted, so the matvec gather
+        # plan needs no permutation.
+        self._forward = SparseMatrix(self.count * n_rows, n_cols,
+                                     offset_rows, cols, vals)
+        # Transposed: output rows are the original columns; the gather
+        # index points into a stack of ``count`` scaled copies of the
+        # input vector, which folds per-matrix coefficients into the
+        # product (see scaled_transpose_matvec).
+        self._transposed = SparseMatrix(n_cols, self.count * n_rows,
+                                        cols, offset_rows, vals)
+
+    def matvec_all(self, x: np.ndarray) -> List[np.ndarray]:
+        """[M_0 x, M_1 x, ...] in ONE fused SpMV pass."""
+        stacked = self._forward.matvec(x)
+        n = self.num_rows
+        return [stacked[i * n:(i + 1) * n] for i in range(self.count)]
+
+    def scaled_transpose_matvec(self, coeffs, x: np.ndarray) -> np.ndarray:
+        """sum_i coeffs[i] * M_i^T x in ONE fused SpMV pass.
+
+        The coefficients are folded into ``count`` scalar-scaled copies of
+        ``x``; the stacked transpose then gathers each matrix's entries
+        from its own copy, so the combination costs no extra pass over the
+        non-zeros.
+        """
+        if len(coeffs) != self.count:
+            raise ValueError("need one coefficient per stacked matrix")
+        # The scaled copies only feed the matvec's gather-multiply, which
+        # accepts any uint64 representative — skip canonicalization.
+        scaled = np.concatenate(
+            [fv.mul_scalar(x, int(c), canonical=False) for c in coeffs])
+        return self._transposed.matvec(scaled)

@@ -21,7 +21,7 @@ import numpy as np
 
 from ..field import vector as fv
 from ..ntt.polymul import next_pow2
-from .matrices import SparseMatrix
+from .matrices import SparseMatrix, StackedMatrices
 
 
 @dataclass
@@ -60,6 +60,13 @@ class R1CS:
             raise ValueError("public/witness sections exceed their halves")
         self.a, self.b, self.c = a, b, c
         self.shape = R1CSShape(n, num_public, num_witness)
+        self._stacked_cache: StackedMatrices | None = None
+
+    def _stacked(self) -> StackedMatrices:
+        """Lazily-built fused view of (A, B, C) for single-pass SpMVs."""
+        if self._stacked_cache is None:
+            self._stacked_cache = StackedMatrices([self.a, self.b, self.c])
+        return self._stacked_cache
 
     # -- z-vector assembly ---------------------------------------------------
     def assemble_z(self, public: np.ndarray, witness: np.ndarray) -> np.ndarray:
@@ -86,14 +93,21 @@ class R1CS:
     # -- satisfaction ---------------------------------------------------------
     def is_satisfied(self, z: np.ndarray) -> bool:
         """Check (A z) o (B z) == (C z)."""
-        az = self.a.matvec(z)
-        bz = self.b.matvec(z)
-        cz = self.c.matvec(z)
+        az, bz, cz = self.products(z)
         return bool((fv.mul(az, bz) == cz).all())
 
     def products(self, z: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Return (A z, B z, C z) — the inputs to Spartan's first sumcheck."""
-        return self.a.matvec(z), self.b.matvec(z), self.c.matvec(z)
+        """Return (A z, B z, C z) — the inputs to Spartan's first sumcheck.
+
+        All three SpMVs run as one fused pass over the stacked coordinate
+        arrays (:class:`StackedMatrices`)."""
+        az, bz, cz = self._stacked().matvec_all(z)
+        return az, bz, cz
+
+    def combined_transpose_matvec(self, coeffs, x: np.ndarray) -> np.ndarray:
+        """(coeffs[0]*A + coeffs[1]*B + coeffs[2]*C)^T x in one fused pass —
+        the first factor of Spartan's second sumcheck."""
+        return self._stacked().scaled_transpose_matvec(coeffs, x)
 
     @property
     def nnz(self) -> int:

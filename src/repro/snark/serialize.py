@@ -12,12 +12,13 @@ from typing import List
 
 import numpy as np
 
-from ..hashing.merkle import MerklePath
+from ..hashing.merkle import MerkleMultiProof
 from ..pcs.orion import OrionCommitment, OrionEvalProof
 from ..spartan.protocol import RepetitionProof, SpartanProof
 
 MAGIC = b"NCAP"
-VERSION = 1
+#: v2: column openings carry one Merkle multiproof instead of per-query paths.
+VERSION = 2
 
 
 class _Writer:
@@ -99,12 +100,11 @@ def _write_pcs_proof(w: _Writer, p: OrionEvalProof) -> None:
     w.u32(len(p.columns))
     for col in p.columns:
         w.array(col)
-    w.u32(len(p.paths))
-    for path in p.paths:
-        w.u32(path.index)
-        w.u32(len(path.siblings))
-        for sib in path.siblings:
-            w.digest(sib)
+    # The multiproof's sorted index list is derivable from query_indices,
+    # so only the sibling digests go on the wire.
+    w.u32(len(p.merkle.nodes))
+    for node in p.merkle.nodes:
+        w.digest(node)
 
 
 def _read_pcs_proof(r: _Reader) -> OrionEvalProof:
@@ -112,12 +112,10 @@ def _read_pcs_proof(r: _Reader) -> OrionEvalProof:
     eval_row = r.array()
     query_indices = [r.u32() for _ in range(r.u32())]
     columns = [r.array() for _ in range(r.u32())]
-    paths = []
-    for _ in range(r.u32()):
-        index = r.u32()
-        siblings = [r.digest() for _ in range(r.u32())]
-        paths.append(MerklePath(index=index, siblings=siblings))
-    return OrionEvalProof(proximity_rows, eval_row, query_indices, columns, paths)
+    nodes = [r.digest() for _ in range(r.u32())]
+    merkle = MerkleMultiProof(indices=sorted(set(query_indices)), nodes=nodes)
+    return OrionEvalProof(proximity_rows, eval_row, query_indices, columns,
+                          merkle)
 
 
 def _write_repetition(w: _Writer, rp: RepetitionProof) -> None:

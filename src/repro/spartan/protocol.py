@@ -25,6 +25,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..field import vector as fv
 from ..field.goldilocks import MODULUS
 from ..hashing.transcript import Transcript
 from ..multilinear.mle import eq_eval, eq_table, mle_eval
@@ -35,7 +36,7 @@ from ..multilinear.sumcheck import (
 )
 from ..pcs.orion import OrionCommitment, OrionEvalProof, OrionPCS
 from ..r1cs.system import R1CS
-from .matrixeval import combined_matrix_eval, combined_matrix_row
+from .matrixeval import combined_matrix_eval
 from .sumcheck1 import (
     finish_constraint_sumcheck,
     prove_constraint_sumcheck,
@@ -100,7 +101,10 @@ class SpartanProver:
         tr = transcript or Transcript()
         r1cs = self.r1cs
         z = r1cs.assemble_z(public, witness)
-        if not r1cs.is_satisfied(z):
+        # One SpMV pass serves both the satisfaction check and sumcheck #1
+        # (is_satisfied would recompute all three products).
+        az, bz, cz = r1cs.products(z)
+        if (fv.mul(az, bz) != cz).any():
             raise ValueError("witness does not satisfy the constraint system")
         log_n = r1cs.shape.log_size
         pub_half, wit_half = r1cs.split_z(z)
@@ -108,24 +112,27 @@ class SpartanProver:
         tr.absorb_array(b"spartan/public", np.asarray(public, dtype=np.uint64))
         commitment, state = self.pcs.commit(wit_half)
         tr.absorb_digest(b"spartan/witness-commitment", commitment.root)
-
-        az, bz, cz = r1cs.products(z)
         reps: List[RepetitionProof] = []
         for rep in range(self.params.repetitions):
             label = b"spartan/rep%d" % rep
             tau = tr.challenge_fields(label + b"/tau", log_n)
-            eq_tau = eq_table(tau)
+            # The eq(tau, .) factor is handled inside the sumcheck via its
+            # tensor split (scalar prefix x static suffix tables) — the
+            # full 2^L eq table is never materialized.
             sc1_rounds, (va, vb, vc), rx = prove_constraint_sumcheck(
-                eq_tau, az, bz, cz, tr, label + b"/sc1")
+                tau, az, bz, cz, tr, label + b"/sc1")
 
             r_a = tr.challenge_field(label + b"/ra")
             r_b = tr.challenge_field(label + b"/rb")
             r_c = tr.challenge_field(label + b"/rc")
             claim2 = (r_a * va + r_b * vb + r_c * vc) % MODULUS
 
-            m_row = combined_matrix_row(r1cs.a, r1cs.b, r1cs.c,
-                                        r_a, r_b, r_c, rx)
-            sc2, ry = prove_sumcheck([m_row, z], tr, label + b"/sc2")
+            # Fused (r_a*A + r_b*B + r_c*C)^T eq(rx): one stacked SpMV
+            # instead of three (equals combined_matrix_row on (A, B, C)).
+            m_row = r1cs.combined_transpose_matvec((r_a, r_b, r_c),
+                                                   eq_table(rx))
+            sc2, ry = prove_sumcheck([m_row, z], tr, label + b"/sc2",
+                                     claim=claim2)
 
             # Open w~ at ry[1:] (ry[0] selects the witness half).
             w_point = ry[1:]
@@ -135,7 +142,6 @@ class SpartanProver:
                                       tr.fork(label + b"/pcs"))
             reps.append(RepetitionProof(sc1_rounds, va, vb, vc, sc2,
                                         w_eval, pcs_proof))
-            _ = claim2  # the verifier recomputes it; kept for readability
         return SpartanProof(commitment, reps)
 
 

@@ -9,62 +9,116 @@ plus recomputation optimization targets.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..field import vector as fv
 from ..field.goldilocks import MODULUS
+from ..field.poly import interpolate_eval
 from ..hashing.transcript import Transcript
-from ..multilinear.mle import fold
 
 DEGREE = 3
 
 
-def _sample(table: np.ndarray, t_val: int) -> np.ndarray:
-    """Value of a multilinear factor at (t, b): bottom + t*(top - bottom)."""
-    half = len(table) // 2
-    bottom, top = table[:half], table[half:]
-    if t_val == 0:
-        return bottom
-    if t_val == 1:
-        return top
-    return fv.add(bottom, fv.mul_scalar(fv.sub(top, bottom), t_val))
+def _eq_scalar(a: int, t: int) -> int:
+    """eq(a, t) = a*t + (1-a)(1-t) mod p for scalar arguments."""
+    return (a * t + (1 - a) * (1 - t)) % MODULUS
 
 
 def prove_constraint_sumcheck(
-    eq: np.ndarray, az: np.ndarray, bz: np.ndarray, cz: np.ndarray,
+    tau: Sequence[int], az: np.ndarray, bz: np.ndarray, cz: np.ndarray,
     transcript: Transcript, label: bytes = b"spartan/sc1",
 ) -> Tuple[List[List[int]], Tuple[int, int, int], List[int]]:
-    """Prover for sum_x eq(x) * (az(x)*bz(x) - cz(x)) (claim = 0).
+    """Prover for sum_x eq(tau, x) * (az(x)*bz(x) - cz(x)) (claim = 0).
 
     Returns (round_evals, (va, vb, vc), challenges) where va/vb/vc are the
     claimed MLE values of Az, Bz, Cz at the challenge point rx.
+
+    The eq factor is never carried as a fourth folded table.  Because
+    eq(tau, x) tensors over the variables, in round ``rnd`` (with earlier
+    variables bound to challenges r_j) it splits as
+
+        eq(tau, (r, t, x_rest))
+            = [prod_{j<rnd} eq(tau_j, r_j)] * eq(tau_rnd, t)
+              * eq(tau_{rnd+1:}, x_rest),
+
+    i.e. a running scalar prefix, a degree-1 scalar factor in the sample
+    point t, and a STATIC suffix table that needs no per-round fold.  The
+    remaining cubic g(t) is the scalar factor times a QUADRATIC inner sum,
+    so only two vector evaluations (t = 1, 2) are needed per round: the
+    t = 0 value follows from the running-claim invariant g(0) + g(1) =
+    claim, and t = 3 by quadratic extrapolation.  The wire format (four
+    evaluations per round) is unchanged.
     """
-    tables = [np.asarray(t, dtype=np.uint64).copy() for t in (eq, az, bz, cz)]
+    tables = [np.asarray(t, dtype=np.uint64) for t in (az, bz, cz)]
     n = len(tables[0])
     if any(len(t) != n for t in tables) or n & (n - 1):
         raise ValueError("tables must share a power-of-two length")
+    num_rounds = n.bit_length() - 1
+    taus = [int(t) % MODULUS for t in tau]
+    if len(taus) != num_rounds:
+        raise ValueError(f"need {num_rounds} eq coordinates, got {len(taus)}")
+
+    # Suffix eq tables, back to front: suffixes[rnd] = eq_table(tau[rnd+1:])
+    # (variable rnd+1 most significant, matching the fold order).  Total
+    # cost ~n/2 multiplies — half of building the full eq table once.
+    suffixes: List[np.ndarray] = [None] * max(num_rounds, 1)
+    s = np.ones(1, dtype=np.uint64)
+    for rnd in range(num_rounds - 1, -1, -1):
+        suffixes[rnd] = s
+        if rnd:
+            hi = fv.mul_scalar(s, taus[rnd])
+            s = np.concatenate([fv.sub(s, hi), hi])
 
     round_evals: List[List[int]] = []
     challenges: List[int] = []
-    num_rounds = n.bit_length() - 1
+    # Running claim (g_{rnd-1} interpolated at the challenge); 0 initially
+    # for a satisfied system.
+    current = 0
+    # prod_{j<rnd} eq(tau_j, r_j): the bound-variable scalar prefix.
+    c_prefix = 1
+    xs = list(range(DEGREE + 1))
     for rnd in range(num_rounds):
-        evals = []
-        for t_val in range(DEGREE + 1):
-            eq_t = _sample(tables[0], t_val)
-            az_t = _sample(tables[1], t_val)
-            bz_t = _sample(tables[2], t_val)
-            cz_t = _sample(tables[3], t_val)
-            g = fv.mul(eq_t, fv.sub(fv.mul(az_t, bz_t), cz_t))
-            evals.append(fv.vsum(g))
+        half = len(tables[0]) // 2
+        bottoms = [t[:half] for t in tables]
+        tops = [t[half:] for t in tables]
+        diffs = [fv.sub(tp, bt) for tp, bt in zip(tops, bottoms)]
+        suffix = suffixes[rnd]
+        t_r = taus[rnd]
+
+        def inner(az_t, bz_t, cz_t):
+            # Non-canonical intermediates are exact: mul accepts any uint64
+            # inputs and vsum's split accumulation tolerates values >= p.
+            h = fv.sub(fv.mul(az_t, bz_t, canonical=False), cz_t)
+            return fv.vsum(fv.mul(suffix, h, canonical=False))
+
+        inner1 = inner(*tops)
+        g1 = c_prefix * t_r % MODULUS * inner1 % MODULUS
+        g0 = (current - g1) % MODULUS
+        denom = c_prefix * (1 - t_r) % MODULUS
+        if denom:
+            # g(0) = denom * inner(0), so inner(0) comes for free from the
+            # claim invariant instead of a third vector evaluation.
+            inner0 = g0 * pow(denom, MODULUS - 2, MODULUS) % MODULUS
+        else:
+            inner0 = inner(*bottoms)
+        samples = [fv.add(tp, df) for tp, df in zip(tops, diffs)]
+        inner2 = inner(*samples)
+        # The inner sum is quadratic in t: extrapolate the fourth point.
+        inner3 = (inner0 - 3 * inner1 + 3 * inner2) % MODULUS
+        evals = [g0, g1,
+                 c_prefix * _eq_scalar(t_r, 2) % MODULUS * inner2 % MODULUS,
+                 c_prefix * _eq_scalar(t_r, 3) % MODULUS * inner3 % MODULUS]
         transcript.absorb_fields(label + b"/round%d" % rnd, evals)
         r = transcript.challenge_field(label + b"/r%d" % rnd)
         challenges.append(r)
-        tables = [fold(t, r) for t in tables]
+        current = interpolate_eval(xs, evals, r)
+        tables = [fv.scale_add(bt, df, r) for bt, df in zip(bottoms, diffs)]
+        c_prefix = c_prefix * _eq_scalar(t_r, r) % MODULUS
         round_evals.append(evals)
 
-    va, vb, vc = int(tables[1][0]), int(tables[2][0]), int(tables[3][0])
+    va, vb, vc = int(tables[0][0]), int(tables[1][0]), int(tables[2][0])
     transcript.absorb_fields(label + b"/final", [va, vb, vc])
     return round_evals, (va, vb, vc), challenges
 

@@ -179,9 +179,17 @@ class TestSizes:
         expected = (sum(r.size for r in proof.proximity_rows) * 8
                     + proof.eval_row.size * 8
                     + sum(c.size for c in proof.columns) * 8
-                    + sum(p.size_bytes() for p in proof.paths)
-                    + len(proof.query_indices) * 4)
+                    + proof.merkle.size_bytes())
         assert size == expected
+
+    def test_multiproof_smaller_than_individual_paths(self):
+        """The shared multiproof must beat per-query authentication paths."""
+        pcs, table, point = _setup(10, 16)
+        com, state = pcs.commit(table)
+        proof = pcs.open(state, com, point, Transcript())
+        individual = sum(state.tree.open(j).size_bytes()
+                         for j in proof.query_indices)
+        assert proof.merkle.size_bytes() < individual
 
     def test_more_queries_bigger_proof(self):
         small_pcs = OrionPCS(code=ReedSolomonCode(num_queries=10),
@@ -224,7 +232,25 @@ class TestMalformedProofs:
         proof = pcs.open(state, com, point, Transcript())
         bad = copy.deepcopy(proof)
         bad.columns.pop()
-        bad.paths.pop()
+        assert not pcs.verify(com, point, value, bad, Transcript())
+
+    def test_tampered_multiproof_node(self):
+        pcs, table, point = _setup()
+        com, state = pcs.commit(table)
+        value = mle_eval(table, point)
+        proof = pcs.open(state, com, point, Transcript())
+        assert proof.merkle.nodes, "expected shipped sibling digests"
+        bad = copy.deepcopy(proof)
+        bad.merkle.nodes[0] = b"\xff" * 32
+        assert not pcs.verify(com, point, value, bad, Transcript())
+
+    def test_truncated_multiproof_nodes(self):
+        pcs, table, point = _setup()
+        com, state = pcs.commit(table)
+        value = mle_eval(table, point)
+        proof = pcs.open(state, com, point, Transcript())
+        bad = copy.deepcopy(proof)
+        bad.merkle.nodes.pop()
         assert not pcs.verify(com, point, value, bad, Transcript())
 
     def test_truncated_column(self):

@@ -1,0 +1,123 @@
+"""Functional-prover perf-regression harness.
+
+Times real Spartan+Orion prove/verify calls on synthetic R1CS instances
+across a sweep of sizes and emits the results as machine-readable JSON,
+so successive PRs have a recorded perf trajectory instead of anecdotes.
+
+Methodology: one warm-up proof per size (imports, twiddle/plan caches),
+then wall-clock best-of-``--repeats`` for prove and verify.  Best-of is
+deliberate — on a shared machine the minimum tracks the code's cost while
+the mean tracks the machine's load.  Every timed proof is verified; the
+run aborts if any fails.
+
+Run:  PYTHONPATH=src python tools/bench_prover.py --json BENCH_prover.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.hashing import Transcript
+from repro.pcs import OrionPCS, PCSParams
+from repro.spartan import SpartanParams, SpartanProver, SpartanVerifier
+from repro.workloads import synthetic_r1cs
+
+#: Paper-scale row count for the Orion matrix (Sec. VII-A).
+DEFAULT_NUM_ROWS = 128
+
+
+def bench_size(log_size: int, num_rows: int, repeats: int,
+               repetitions: int) -> dict:
+    """Time prove/verify at 2^log_size constraints; returns one JSON row."""
+    r1cs, public, witness = synthetic_r1cs(log_size, band=16, seed=log_size)
+    params = SpartanParams(repetitions=repetitions)
+    pcs_rng = np.random.default_rng(1)
+    prover = SpartanProver(r1cs, OrionPCS(params=PCSParams(num_rows=num_rows),
+                                          rng=pcs_rng), params)
+    verifier = SpartanVerifier(r1cs, OrionPCS(params=PCSParams(num_rows=num_rows)),
+                               params)
+
+    proof = prover.prove(public, witness, Transcript())  # warm-up
+    prove_s = min_wall(repeats, lambda: prover.prove(public, witness,
+                                                     Transcript()))
+    proof = prover.prove(public, witness, Transcript())
+    if not verifier.verify(public, proof, Transcript()):
+        raise SystemExit(f"proof at 2^{log_size} failed to verify")
+    verify_s = min_wall(repeats, lambda: verifier.verify(public, proof,
+                                                         Transcript()))
+    return {
+        "log_size": log_size,
+        "num_constraints": 1 << log_size,
+        "prove_s": round(prove_s, 6),
+        "verify_s": round(verify_s, 6),
+        "proof_size_bytes": proof.size_bytes(),
+        "verified": True,
+    }
+
+
+def min_wall(repeats: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--json", metavar="PATH", default="BENCH_prover.json",
+                    help="output file (default: %(default)s)")
+    ap.add_argument("--min-log", type=int, default=10,
+                    help="smallest log2 constraint count (default: %(default)s)")
+    ap.add_argument("--max-log", type=int, default=16,
+                    help="largest log2 constraint count (default: %(default)s)")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of-N wall-clock repeats (default: %(default)s)")
+    ap.add_argument("--num-rows", type=int, default=DEFAULT_NUM_ROWS,
+                    help="Orion matrix rows (default: %(default)s)")
+    ap.add_argument("--repetitions", type=int, default=1,
+                    help="sumcheck repetitions (default: 1 — timing, not "
+                         "soundness; the paper's 128-bit setting is 3)")
+    args = ap.parse_args(argv)
+    if args.min_log > args.max_log:
+        ap.error(f"--min-log {args.min_log} exceeds --max-log {args.max_log}")
+    if args.repeats < 1:
+        ap.error("--repeats must be at least 1")
+
+    results = []
+    print(f"{'size':>6} {'prove (s)':>10} {'verify (s)':>10} {'proof (B)':>10}")
+    for log_size in range(args.min_log, args.max_log + 1):
+        row = bench_size(log_size, args.num_rows, args.repeats,
+                         args.repetitions)
+        results.append(row)
+        print(f"  2^{log_size:<3} {row['prove_s']:>10.4f} "
+              f"{row['verify_s']:>10.4f} {row['proof_size_bytes']:>10}")
+
+    payload = {
+        "benchmark": "spartan_orion_functional_prover",
+        "workload": "synthetic_r1cs(band=16)",
+        "num_rows": args.num_rows,
+        "repetitions": args.repetitions,
+        "repeats": args.repeats,
+        "timing": "best-of-N wall clock, warm",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+    Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
