@@ -25,11 +25,13 @@ Quickstart::
     circuit.assert_equal(circuit.mul(circuit.mul(x, x), x) + x + 5, out)
     snark = Snark.from_circuit(circuit)
     bundle = snark.prove()
-    assert snark.verify(bundle)
+    if not snark.verify(bundle):
+        ...  # reject
 """
 
 __version__ = "1.0.0"
 
+from . import errors  # noqa: F401
 from . import (  # noqa: F401
     analysis,
     baselines,
@@ -45,10 +47,19 @@ from . import (  # noqa: F401
     spartan,
     workloads,
 )
+from .errors import (  # noqa: F401
+    ConfigError,
+    DeserializationError,
+    ReproError,
+    TranscriptError,
+    VerificationError,
+)
 from .opcount import OpCount  # noqa: F401
 
 __all__ = [
-    "analysis", "baselines", "code", "field", "hashing", "multilinear",
-    "nocap", "ntt", "pcs", "r1cs", "snark", "spartan", "workloads",
-    "OpCount", "__version__",
+    "analysis", "baselines", "code", "errors", "field", "hashing",
+    "multilinear", "nocap", "ntt", "pcs", "r1cs", "snark", "spartan",
+    "workloads", "OpCount", "__version__",
+    "ReproError", "DeserializationError", "VerificationError",
+    "TranscriptError", "ConfigError",
 ]

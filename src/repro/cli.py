@@ -141,11 +141,25 @@ def _cmd_prove(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+#: Distinct exit codes per error class, so scripted callers can tell a
+#: malformed proof from a bad configuration without parsing stderr.
+EXIT_CONFIG_ERROR = 3
+EXIT_DESERIALIZATION_ERROR = 4
+EXIT_VERIFICATION_ERROR = 5
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NoCap (MICRO 2024) reproduction: hash-based ZKPs with "
-                    "a co-designed accelerator model")
+                    "a co-designed accelerator model",
+        epilog="Input errors (malformed proofs, impossible configurations) "
+               "print a one-line message and exit with a distinct nonzero "
+               "code (config=3, deserialization=4, verification=5); pass "
+               "--strict to re-raise them with a full traceback instead.")
+    parser.add_argument("--strict", action="store_true",
+                        help="re-raise typed input errors with a traceback "
+                             "instead of the one-line message")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("tables", help="print Tables I/IV/V").set_defaults(
@@ -173,12 +187,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from .errors import (
+        ConfigError,
+        DeserializationError,
+        ReproError,
+        VerificationError,
+    )
+
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         return 0
+    except ReproError as exc:
+        # User-input errors get a one-line message and a distinct exit
+        # code, not a traceback (unless --strict asks for one).
+        if args.strict:
+            raise
+        if isinstance(exc, ConfigError):
+            code = EXIT_CONFIG_ERROR
+        elif isinstance(exc, DeserializationError):
+            code = EXIT_DESERIALIZATION_ERROR
+        else:
+            code = EXIT_VERIFICATION_ERROR
+        print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
+        return code
 
 
 if __name__ == "__main__":

@@ -1,0 +1,68 @@
+"""Typed error hierarchy for the verification boundary.
+
+The verifier sits across a trust boundary: proof bytes arrive from a
+prover the verifier does not trust, over a transport that may corrupt
+them.  The contract for every deserialization and verification path is
+
+    **reject, never crash, never accept**:
+
+malformed input is answered with ``False`` or one of the exceptions
+below — never an ``IndexError``, a numpy broadcast error, or an
+optimization-stripped ``assert``.
+
+``DeserializationError`` and ``ConfigError`` also subclass ``ValueError``
+so callers that predate the taxonomy (``except ValueError``) keep
+working; new code should catch :class:`ReproError`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "DeserializationError",
+    "VerificationError",
+    "TranscriptError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised at a trust boundary."""
+
+
+class DeserializationError(ReproError, ValueError):
+    """Malformed or malicious wire bytes.
+
+    Carries the byte offset at which parsing failed (when known) so a
+    transport-corruption report can point at the damage.
+    """
+
+    def __init__(self, message: str, *, offset: Optional[int] = None):
+        self.offset = offset
+        if offset is not None:
+            message = f"{message} (at byte offset {offset})"
+        super().__init__(message)
+
+
+class VerificationError(ReproError):
+    """A proof whose *structure* is too broken to even evaluate.
+
+    Ordinary invalid proofs are rejected by returning ``False``; this
+    error marks inputs that could not have been produced by an honest
+    prover at all (wrong container types, impossible shapes).
+    """
+
+
+class TranscriptError(ReproError, ValueError):
+    """Invalid data fed to the Fiat-Shamir transcript.
+
+    A backstop: verifier paths validate before absorbing, so reaching
+    this from wire input indicates a missing check upstream.
+    """
+
+
+class ConfigError(ReproError, ValueError):
+    """An impossible or inconsistent configuration (simulator design
+    points, ISA programs, protocol parameter presets)."""

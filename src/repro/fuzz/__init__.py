@@ -1,0 +1,18 @@
+"""Adversarial-input tooling: structured proof mutators for the
+soundness fault-injection harness (``tools/soundness_harness.py``)."""
+
+from .mutate import (  # noqa: F401
+    Mutant,
+    STRUCTURED_MUTATORS,
+    random_mutants,
+    splice_mutants,
+    structured_mutants,
+)
+
+__all__ = [
+    "Mutant",
+    "STRUCTURED_MUTATORS",
+    "random_mutants",
+    "splice_mutants",
+    "structured_mutants",
+]

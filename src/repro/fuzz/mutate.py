@@ -1,0 +1,376 @@
+"""Structured proof mutators for soundness fault injection.
+
+Every mutator takes the *wire bytes* of a valid proof and returns one or
+more adversarial variants.  Two families:
+
+* **Byte-level** mutators edit the serialized form directly (flips,
+  truncation, garbage, non-canonical field injection) and should die in
+  the strict parser with a typed
+  :class:`~repro.errors.DeserializationError`.
+* **Structural** mutators parse the proof, surgically alter one
+  semantically meaningful value (a sumcheck evaluation, a Merkle sibling,
+  a claimed product, a query index, ...) and re-serialize.  These produce
+  *well-formed* proofs of false statements, so they must be rejected by
+  the verifier itself (``verify() -> False``), exercising the soundness
+  checks rather than the parser.
+
+The harness contract (see ``tools/soundness_harness.py``): every mutant
+must be rejected via ``False`` or a typed ``ReproError`` — no other
+exception may escape, and no mutant may verify.
+
+All randomness comes from the caller's ``random.Random`` so runs are
+reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..errors import DeserializationError
+from ..field.goldilocks import MODULUS
+from ..snark.serialize import proof_from_bytes, proof_to_bytes
+
+#: Byte offset of the version byte / commitment root in the wire format
+#: (see :mod:`repro.snark.serialize`): magic(4) version(1) root(32)
+#: table_len(8) num_rows(4) num_cols(4) rep_count(4).
+_OFF_VERSION = 4
+_OFF_ROOT = 5
+_OFF_TABLE_LEN = 37
+_OFF_NUM_ROWS = 45
+_OFF_NUM_COLS = 49
+_OFF_REP_COUNT = 53
+
+
+@dataclass
+class Mutant:
+    """One adversarial proof variant."""
+
+    mutator: str   # name of the mutator class that produced it
+    data: bytes    # the mutated wire bytes
+
+
+def _parse(data: bytes):
+    proof = proof_from_bytes(data)
+    return proof
+
+
+def _reserialize(name: str, proof) -> List[Mutant]:
+    return [Mutant(name, proof_to_bytes(proof))]
+
+
+# ---------------------------------------------------------------------------
+# Byte-level mutators (should be caught by the strict parser)
+# ---------------------------------------------------------------------------
+
+def mutate_byte_flip(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Flip one random byte, three times (distinct positions)."""
+    out = []
+    for pos in rng.sample(range(len(data)), k=min(3, len(data))):
+        buf = bytearray(data)
+        buf[pos] ^= 1 << rng.randrange(8)
+        out.append(Mutant("byte_flip", bytes(buf)))
+    return out
+
+
+def mutate_truncate(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Cut the proof short: mid-header, mid-body, and one byte shy."""
+    cuts = {3, min(20, len(data) - 1), rng.randrange(1, len(data)),
+            len(data) - 1}
+    return [Mutant("truncate", data[:c]) for c in sorted(cuts) if c < len(data)]
+
+
+def mutate_append_garbage(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Trailing bytes after a complete proof must be rejected."""
+    return [Mutant("append_garbage", data + b"\x00"),
+            Mutant("append_garbage", data + rng.randbytes(17))]
+
+
+def mutate_bad_header(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Wrong magic, unknown version, and non-power-of-two geometry."""
+    out = []
+    buf = bytearray(data)
+    buf[0] ^= 0xFF
+    out.append(Mutant("bad_header", bytes(buf)))
+    buf = bytearray(data)
+    buf[_OFF_VERSION] = 0xEE
+    out.append(Mutant("bad_header", bytes(buf)))
+    # table_len := table_len + 1 (no longer a power of two, and the
+    # rows*cols product no longer covers it)
+    buf = bytearray(data)
+    buf[_OFF_TABLE_LEN] ^= 1
+    out.append(Mutant("bad_header", bytes(buf)))
+    # absurd repetition count: a length-prefix DoS probe
+    buf = bytearray(data)
+    buf[_OFF_REP_COUNT:_OFF_REP_COUNT + 4] = (0xFFFFFFFF).to_bytes(4, "little")
+    out.append(Mutant("bad_header", bytes(buf)))
+    return out
+
+
+def mutate_noncanonical_field(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Overwrite a wire u64 that holds a field element with a value
+    >= the Goldilocks modulus.  The first sumcheck-round evaluation sits
+    right after the repetition header: rep_count(4) sc1_count(4)
+    round_len(4)."""
+    proof = _parse(data)
+    if not proof.repetitions or not proof.repetitions[0].sc1_round_evals:
+        return []
+    off = _OFF_REP_COUNT + 4 + 4 + 4
+    buf = bytearray(data)
+    buf[off:off + 8] = (MODULUS + rng.randrange(1, 1 << 32)).to_bytes(
+        8, "little")
+    return [Mutant("noncanonical_field", bytes(buf))]
+
+
+# ---------------------------------------------------------------------------
+# Structural mutators (well-formed proofs of false statements)
+# ---------------------------------------------------------------------------
+
+def mutate_field_bump(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Add 1 (mod p) to one value in each major proof section."""
+    out = []
+    targets = ("va", "vb", "vc", "w_eval")
+    for name in targets:
+        proof = _parse(data)
+        rp = rng.choice(proof.repetitions)
+        setattr(rp, name, (int(getattr(rp, name)) + 1) % MODULUS)
+        out.extend(_reserialize("field_bump", proof))
+    # one element of the PCS evaluation row
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    row = np.array(rp.pcs_proof.eval_row, dtype=np.uint64)
+    i = rng.randrange(row.size)
+    row[i] = np.uint64((int(row[i]) + 1) % MODULUS)
+    rp.pcs_proof.eval_row = row
+    out.extend(_reserialize("field_bump", proof))
+    # one element of an opened column (breaks the Merkle binding)
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    if rp.pcs_proof.columns:
+        k = rng.randrange(len(rp.pcs_proof.columns))
+        col = np.array(rp.pcs_proof.columns[k], dtype=np.uint64)
+        j = rng.randrange(col.size)
+        col[j] = np.uint64((int(col[j]) + 1) % MODULUS)
+        rp.pcs_proof.columns[k] = col
+        out.extend(_reserialize("field_bump", proof))
+    return out
+
+
+def mutate_sumcheck_tweak(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Tamper with sumcheck round polynomials.
+
+    Includes the *compensated* attack: add d to g(0) and subtract d from
+    g(1) so the round-sum check g(0)+g(1) == claim still passes — only
+    the evaluation binding at the round challenge can catch it.
+    """
+    out = []
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    if rp.sc1_round_evals:
+        rnd = rng.randrange(len(rp.sc1_round_evals))
+        evals = list(rp.sc1_round_evals[rnd])
+        d = rng.randrange(1, MODULUS)
+        evals[0] = (evals[0] + d) % MODULUS
+        if len(evals) > 1:
+            evals[1] = (evals[1] - d) % MODULUS
+        rp.sc1_round_evals[rnd] = evals
+        out.extend(_reserialize("sumcheck_tweak", proof))
+    # plain tweak of a later evaluation point in sumcheck 2
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    if rp.sc2.round_evals:
+        rnd = rng.randrange(len(rp.sc2.round_evals))
+        evals = list(rp.sc2.round_evals[rnd])
+        k = rng.randrange(len(evals))
+        evals[k] = (evals[k] + rng.randrange(1, MODULUS)) % MODULUS
+        rp.sc2.round_evals[rnd] = evals
+        out.extend(_reserialize("sumcheck_tweak", proof))
+    # tamper the final multilinear evaluations
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    if rp.sc2.final_values:
+        fv = list(rp.sc2.final_values)
+        k = rng.randrange(len(fv))
+        fv[k] = (fv[k] + 1) % MODULUS
+        rp.sc2.final_values = fv
+        out.extend(_reserialize("sumcheck_tweak", proof))
+    return out
+
+
+def mutate_wrong_claim(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Substitute internally *consistent* but wrong claims: va*vb == vc
+    still holds for random values, so only the sumcheck binding to the
+    real witness can reject it."""
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    va = rng.randrange(MODULUS)
+    vb = rng.randrange(MODULUS)
+    rp.va, rp.vb, rp.vc = va, vb, (va * vb) % MODULUS
+    out = _reserialize("wrong_claim", proof)
+    # zero out the claims entirely (a "prove nothing" attempt)
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    rp.va = rp.vb = rp.vc = 0
+    out.extend(_reserialize("wrong_claim", proof))
+    return out
+
+
+def mutate_merkle_tamper(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Break the Merkle binding: flip a sibling digest, swap two
+    siblings, drop one, and flip a bit of the commitment root."""
+    out = []
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    nodes = rp.pcs_proof.merkle.nodes
+    if nodes:
+        i = rng.randrange(len(nodes))
+        tampered = bytearray(nodes[i])
+        tampered[rng.randrange(32)] ^= 0x40
+        nodes[i] = bytes(tampered)
+        out.extend(_reserialize("merkle_tamper", proof))
+    proof = _parse(data)
+    nodes = rng.choice(proof.repetitions).pcs_proof.merkle.nodes
+    if len(nodes) >= 2:
+        i, j = rng.sample(range(len(nodes)), 2)
+        nodes[i], nodes[j] = nodes[j], nodes[i]
+        out.extend(_reserialize("merkle_tamper", proof))
+    proof = _parse(data)
+    nodes = rng.choice(proof.repetitions).pcs_proof.merkle.nodes
+    if nodes:
+        nodes.pop(rng.randrange(len(nodes)))
+        out.extend(_reserialize("merkle_tamper", proof))
+    proof = _parse(data)
+    root = bytearray(proof.witness_commitment.root)
+    root[rng.randrange(32)] ^= 0x01
+    proof.witness_commitment.root = bytes(root)
+    out.extend(_reserialize("merkle_tamper", proof))
+    return out
+
+
+def mutate_query_indices(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Answer different columns than the transcript demands: shift one
+    query index, and swap two opened columns in place."""
+    out = []
+    proof = _parse(data)
+    rp = rng.choice(proof.repetitions)
+    qi = rp.pcs_proof.query_indices
+    if qi:
+        k = rng.randrange(len(qi))
+        qi[k] = (qi[k] + 1) % max(2, max(qi) + 1)
+        out.extend(_reserialize("query_indices", proof))
+    proof = _parse(data)
+    cols = rng.choice(proof.repetitions).pcs_proof.columns
+    if len(cols) >= 2:
+        i, j = rng.sample(range(len(cols)), 2)
+        cols[i], cols[j] = cols[j], cols[i]
+        out.extend(_reserialize("query_indices", proof))
+    return out
+
+
+def mutate_repetition_surgery(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Drop or duplicate whole repetitions (the soundness amplifier)."""
+    out = []
+    proof = _parse(data)
+    if len(proof.repetitions) > 0:
+        proof.repetitions = proof.repetitions[:-1]
+        out.extend(_reserialize("repetition_surgery", proof))
+    proof = _parse(data)
+    proof.repetitions.append(copy.deepcopy(proof.repetitions[0]))
+    out.extend(_reserialize("repetition_surgery", proof))
+    return out
+
+
+#: Single-proof structured mutators, keyed by class name.
+STRUCTURED_MUTATORS: Dict[str, Callable[[bytes, random.Random], List[Mutant]]]
+STRUCTURED_MUTATORS = {
+    "byte_flip": mutate_byte_flip,
+    "truncate": mutate_truncate,
+    "append_garbage": mutate_append_garbage,
+    "bad_header": mutate_bad_header,
+    "noncanonical_field": mutate_noncanonical_field,
+    "field_bump": mutate_field_bump,
+    "sumcheck_tweak": mutate_sumcheck_tweak,
+    "wrong_claim": mutate_wrong_claim,
+    "merkle_tamper": mutate_merkle_tamper,
+    "query_indices": mutate_query_indices,
+    "repetition_surgery": mutate_repetition_surgery,
+}
+
+
+def structured_mutants(data: bytes, rng: random.Random) -> List[Mutant]:
+    """Run every structured mutator class on one valid proof.
+
+    Mutants that happen to be byte-identical to the input are dropped:
+    swapping two equal columns or equal sibling digests (common in tiny,
+    zero-padded witnesses) is a no-op, not an attack, and a no-op "mutant"
+    verifying would be a false alarm.
+    """
+    out: List[Mutant] = []
+    for fn in STRUCTURED_MUTATORS.values():
+        out.extend(m for m in fn(data, rng) if m.data != data)
+    return out
+
+
+def random_mutants(data: bytes, rng: random.Random,
+                   count: int) -> List[Mutant]:
+    """``count`` seeded random byte-level mutations: flips, overwrites,
+    truncations and extensions at uniformly random positions."""
+    out = []
+    for _ in range(count):
+        buf = bytearray(data)
+        op = rng.randrange(4)
+        if op == 0:
+            buf[rng.randrange(len(buf))] ^= 1 << rng.randrange(8)
+        elif op == 1:
+            pos = rng.randrange(len(buf))
+            buf[pos] = (buf[pos] + rng.randrange(1, 256)) % 256
+        elif op == 2:
+            del buf[rng.randrange(len(buf)):]
+        else:
+            buf[rng.randrange(len(buf)):] = rng.randbytes(rng.randrange(1, 64))
+        if bytes(buf) != data:
+            out.append(Mutant("random_bytes", bytes(buf)))
+    return out
+
+
+def splice_mutants(data_a: bytes, data_b: bytes,
+                   rng: random.Random) -> List[Mutant]:
+    """Cross-proof splices: graft sections of proof B (for a *different*
+    statement) into proof A.  Domain separation in the transcript must
+    reject every one of these even when both halves are individually
+    honest."""
+    out = []
+    a, b = _parse(data_a), _parse(data_b)
+    # commitment from A, repetitions from B
+    spliced = copy.deepcopy(a)
+    spliced.repetitions = copy.deepcopy(b.repetitions)
+    try:
+        out.extend(_reserialize("splice", spliced))
+    except (ValueError, DeserializationError):
+        pass  # geometry mismatch made it unserializable; skip
+    # B's PCS opening under A's sumcheck transcript
+    spliced = copy.deepcopy(a)
+    if spliced.repetitions and b.repetitions:
+        spliced.repetitions[0].pcs_proof = copy.deepcopy(
+            b.repetitions[0].pcs_proof)
+        try:
+            out.extend(_reserialize("splice", spliced))
+        except (ValueError, DeserializationError):
+            pass
+    # B's sumcheck transcript with A's opening
+    spliced = copy.deepcopy(a)
+    if spliced.repetitions and b.repetitions:
+        rp_a, rp_b = spliced.repetitions[0], b.repetitions[0]
+        rp_a.sc1_round_evals = copy.deepcopy(rp_b.sc1_round_evals)
+        rp_a.va, rp_a.vb, rp_a.vc = rp_b.va, rp_b.vb, rp_b.vc
+        rp_a.sc2 = copy.deepcopy(rp_b.sc2)
+        rp_a.w_eval = rp_b.w_eval
+        out.extend(_reserialize("splice", spliced))
+    # raw byte-level splice: A's header, B's body
+    cut = _OFF_REP_COUNT
+    out.append(Mutant("splice", data_a[:cut] + data_b[cut:]))
+    return [m for m in out if m.data != data_a]

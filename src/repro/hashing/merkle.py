@@ -157,11 +157,25 @@ def verify_many(root: bytes, leaf_digests: Sequence[bytes],
     """Check a multiproof: ``leaf_digests[k]`` sits at ``proof.indices[k]``.
 
     Reconstructs the tree frontier layer by layer, consuming shipped
-    sibling nodes exactly in :func:`open_many`'s order.
+    sibling nodes exactly in :func:`open_many`'s order.  Adversarial
+    proofs — wrong node types, out-of-range or unsorted indices, missing
+    or trailing siblings — are rejected with ``False``, never an
+    uncaught exception.
     """
+    if not isinstance(proof, MerkleMultiProof):
+        return False
+    if not isinstance(num_leaves, int) or num_leaves < 1:
+        return False
+    if not _well_formed_digests(proof.nodes):
+        return False
+    if not _well_formed_digests(leaf_digests):
+        return False
+    if not all(isinstance(i, int) and 0 <= i < num_leaves
+               for i in proof.indices):
+        return False
     if len(leaf_digests) != len(proof.indices):
         return False
-    if sorted(proof.indices) != list(proof.indices):
+    if sorted(set(proof.indices)) != list(proof.indices):
         return False
     size = 1 if num_leaves == 1 else 1 << (num_leaves - 1).bit_length()
     known = dict(zip(proof.indices, leaf_digests))
@@ -188,8 +202,37 @@ def verify_many(root: bytes, leaf_digests: Sequence[bytes],
     return known.get(0) == root
 
 
+#: No deployed tree is deeper than 64 levels (2^64 leaves); longer paths
+#: are adversarial padding.
+MAX_PATH_DEPTH = 64
+
+
+def _well_formed_digests(digests) -> bool:
+    """True when ``digests`` is a sequence of 32-byte strings."""
+    try:
+        return all(isinstance(d, (bytes, bytearray))
+                   and len(d) == DIGEST_BYTES for d in digests)
+    except TypeError:
+        return False
+
+
 def verify_path(root: bytes, leaf_digest: bytes, path: MerklePath) -> bool:
-    """Check that ``leaf_digest`` sits at ``path.index`` under ``root``."""
+    """Check that ``leaf_digest`` sits at ``path.index`` under ``root``.
+
+    Malformed paths (wrong types, negative index, absurd depth) are
+    rejected with ``False``.
+    """
+    if not isinstance(path, MerklePath):
+        return False
+    if not isinstance(path.index, int) or path.index < 0:
+        return False
+    if not isinstance(leaf_digest, (bytes, bytearray)):
+        return False
+    if (len(path.siblings) > MAX_PATH_DEPTH
+            or not _well_formed_digests(path.siblings)):
+        return False
+    if path.index >> len(path.siblings):
+        return False  # index does not fit in a tree of this depth
     acc = leaf_digest
     i = path.index
     for sibling in path.siblings:
@@ -203,4 +246,8 @@ def verify_path(root: bytes, leaf_digest: bytes, path: MerklePath) -> bool:
 
 def verify_column(root: bytes, column: np.ndarray, path: MerklePath) -> bool:
     """Verify an opened matrix column against a column-committed tree."""
+    try:
+        column = np.asarray(column, dtype=np.uint64)
+    except (TypeError, ValueError, OverflowError):
+        return False
     return verify_path(root, hash_elements(column), path)

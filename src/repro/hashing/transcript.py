@@ -15,11 +15,20 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..errors import TranscriptError
 from ..field.goldilocks import MODULUS
 
 
 class Transcript:
-    """A labelled Fiat-Shamir transcript over SHA3-256."""
+    """A labelled Fiat-Shamir transcript over SHA3-256.
+
+    Absorb methods validate their input and raise
+    :class:`~repro.errors.TranscriptError` on anything that is not a
+    clean byte string / integer sequence.  Verifier paths check proof
+    structure *before* absorbing, so these are a typed backstop: replayed
+    adversarial data can at worst raise a ``ReproError``, never a bare
+    ``struct.error`` or ``TypeError``.
+    """
 
     def __init__(self, domain: bytes = b"nocap.spartan-orion.v1"):
         self._state = hashlib.sha3_256(domain).digest()
@@ -27,6 +36,12 @@ class Transcript:
 
     # -- absorbing ----------------------------------------------------------
     def absorb_bytes(self, label: bytes, data: bytes) -> None:
+        if not isinstance(label, (bytes, bytearray)):
+            raise TranscriptError(
+                f"transcript label must be bytes, got {type(label).__name__}")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TranscriptError(
+                f"transcript data must be bytes, got {type(data).__name__}")
         h = hashlib.sha3_256()
         h.update(self._state)
         h.update(struct.pack("<I", len(label)))
@@ -36,17 +51,31 @@ class Transcript:
         self._state = h.digest()
 
     def absorb_field(self, label: bytes, value: int) -> None:
-        self.absorb_bytes(label, struct.pack("<Q", value % MODULUS))
+        self.absorb_bytes(label, struct.pack("<Q", self._as_field(value)))
 
     def absorb_fields(self, label: bytes, values: Sequence[int]) -> None:
-        data = b"".join(struct.pack("<Q", int(v) % MODULUS) for v in values)
+        data = b"".join(struct.pack("<Q", self._as_field(v)) for v in values)
         self.absorb_bytes(label, data)
 
     def absorb_array(self, label: bytes, arr: np.ndarray) -> None:
-        self.absorb_bytes(label, np.ascontiguousarray(arr, dtype="<u8").tobytes())
+        try:
+            data = np.ascontiguousarray(arr, dtype="<u8").tobytes()
+        except (TypeError, ValueError, OverflowError) as exc:
+            raise TranscriptError(
+                f"cannot absorb non-uint64 array under {label!r}: {exc}"
+            ) from exc
+        self.absorb_bytes(label, data)
 
     def absorb_digest(self, label: bytes, digest: bytes) -> None:
         self.absorb_bytes(label, digest)
+
+    @staticmethod
+    def _as_field(value) -> int:
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise TranscriptError(
+                f"transcript field element must be an integer, "
+                f"got {type(value).__name__}")
+        return int(value) % MODULUS
 
     # -- squeezing ----------------------------------------------------------
     def _squeeze(self) -> bytes:
@@ -76,7 +105,7 @@ class Transcript:
         """Derive ``count`` distinct indices in [0, bound) — the Orion
         column-query sampler.  If bound <= count, returns all indices."""
         if bound <= 0:
-            raise ValueError("bound must be positive")
+            raise TranscriptError("challenge index bound must be positive")
         if bound <= count:
             return list(range(bound))
         self.absorb_bytes(b"challenge-idx/" + label, struct.pack("<QQ", count, bound))

@@ -24,6 +24,9 @@ from ..field.goldilocks import MODULUS
 from ..field.poly import interpolate_eval
 from ..hashing.transcript import Transcript
 
+#: The field has 64-bit indices: no honest sumcheck runs more rounds.
+MAX_VERIFY_ROUNDS = 64
+
 
 @dataclass
 class SumcheckProof:
@@ -125,6 +128,18 @@ def prove_sumcheck(tables: Sequence[np.ndarray], transcript: Transcript,
     return SumcheckProof(round_evals, final_values), challenges
 
 
+def _well_formed_evals(evals, expected_len: int) -> bool:
+    """True when ``evals`` is a sequence of ``expected_len`` canonical
+    field elements — the precondition for arithmetic and transcript
+    absorption on the verify path."""
+    if not isinstance(evals, (list, tuple)):
+        return False
+    if len(evals) != expected_len:
+        return False
+    return all(isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+               and 0 <= v < MODULUS for v in evals)
+
+
 def verify_sumcheck_rounds(claim: int, round_evals: Sequence[Sequence[int]],
                            degree: int, transcript: Transcript,
                            label: bytes = b"sumcheck") -> SumcheckResult:
@@ -133,13 +148,18 @@ def verify_sumcheck_rounds(claim: int, round_evals: Sequence[Sequence[int]],
     by checking that reduced claim against oracles (MLE evaluations, PCS
     openings, or a composite expression as in Spartan's first sumcheck).
     """
+    if not isinstance(round_evals, (list, tuple)):
+        return SumcheckResult(False, [], 0, "round evaluations not a list")
+    if len(round_evals) > MAX_VERIFY_ROUNDS:
+        return SumcheckResult(False, [], 0,
+                              f"{len(round_evals)} rounds exceeds the cap")
     current = claim % MODULUS
     challenges: List[int] = []
     xs = list(range(degree + 1))
     for rnd, evals in enumerate(round_evals):
-        if len(evals) != degree + 1:
+        if not _well_formed_evals(evals, degree + 1):
             return SumcheckResult(False, challenges, 0,
-                                  f"round {rnd}: wrong evaluation count")
+                                  f"round {rnd}: malformed evaluations")
         if (evals[0] + evals[1]) % MODULUS != current:
             return SumcheckResult(False, challenges, 0,
                                   f"round {rnd}: g(0)+g(1) != claim")
@@ -159,12 +179,19 @@ def verify_sumcheck(claim: int, proof: SumcheckProof, degree: int,
     the challenge point; the caller must still check it against
     ``proof.final_values`` (or an oracle/PCS opening of each factor).
     """
+    if not isinstance(proof, SumcheckProof):
+        return SumcheckResult(False, [], 0, "not a SumcheckProof")
     rounds = verify_sumcheck_rounds(claim, proof.round_evals, degree,
                                     transcript, label)
     if not rounds.ok:
         return rounds
     challenges, current = rounds.challenges, rounds.final_claim
 
+    if (not isinstance(proof.final_values, (list, tuple))
+            or not _well_formed_evals(proof.final_values,
+                                      len(proof.final_values))):
+        return SumcheckResult(False, challenges, current,
+                              "malformed final values")
     transcript.absorb_fields(label + b"/final", proof.final_values)
     # The factor-product at the challenge point must match the reduced claim.
     prod = 1

@@ -9,12 +9,22 @@ register file, and 1 TB/s of HBM.  Sensitivity and design-space studies
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
 
 
 @dataclass(frozen=True)
 class NoCapConfig:
-    """One NoCap design point."""
+    """One NoCap design point.
+
+    Impossible design points (zero lanes, negative bandwidth, a
+    non-power-of-two NTT base kernel) fail fast at construction with a
+    :class:`~repro.errors.ConfigError` naming the offending field, so a
+    misconfigured sweep dies with an actionable message instead of
+    producing nonsense simulation results downstream.
+    """
 
     frequency_hz: float = 1e9          # Sec. VI: 1 GHz in 14nm
     mul_lanes: int = 2048              # modular multiply FU
@@ -27,6 +37,27 @@ class NoCapConfig:
     hbm_bytes_per_s: float = 1e12      # 1 TB/s (2 x 512 GB/s PHYs)
     recompute_sumcheck: bool = True    # Sec. V-A optimization
 
+    def __post_init__(self):
+        for name in ("mul_lanes", "add_lanes", "hash_lanes", "shuffle_lanes",
+                     "ntt_lanes", "ntt_base_size", "register_file_bytes"):
+            v = getattr(self, name)
+            if not isinstance(v, int) or isinstance(v, bool) or v < 1:
+                raise ConfigError(
+                    f"{name} must be a positive integer, got {v!r}")
+        for name in ("frequency_hz", "hbm_bytes_per_s"):
+            v = getattr(self, name)
+            if (not isinstance(v, (int, float)) or isinstance(v, bool)
+                    or not math.isfinite(v) or v <= 0):
+                raise ConfigError(
+                    f"{name} must be a positive finite number, got {v!r}")
+        if self.ntt_base_size & (self.ntt_base_size - 1):
+            raise ConfigError(
+                f"ntt_base_size must be a power of two, "
+                f"got {self.ntt_base_size}")
+        if self.register_file_bytes < 8:
+            raise ConfigError("register file must hold at least one "
+                              "8-byte element")
+
     @property
     def register_file_elements(self) -> int:
         return self.register_file_bytes // 8
@@ -37,6 +68,12 @@ class NoCapConfig:
         Keys: 'mul', 'add', 'arith' (both), 'hash', 'shuffle', 'ntt',
         'hbm', 'rf'.  Used by the Fig. 7 sensitivity sweep.
         """
+        for key, factor in factors.items():
+            if (not isinstance(factor, (int, float))
+                    or isinstance(factor, bool)
+                    or not math.isfinite(factor) or factor <= 0):
+                raise ConfigError(f"scale factor for {key!r} must be a "
+                                  f"positive finite number, got {factor!r}")
         changes = {}
         if "arith" in factors:
             changes["mul_lanes"] = max(1, int(self.mul_lanes * factors["arith"]))
@@ -60,7 +97,7 @@ class NoCapConfig:
         unknown = set(factors) - {"arith", "mul", "add", "hash", "shuffle",
                                   "ntt", "hbm", "rf"}
         if unknown:
-            raise ValueError(f"unknown resources: {sorted(unknown)}")
+            raise ConfigError(f"unknown resources: {sorted(unknown)}")
         return replace(self, **changes)
 
 

@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..errors import ConfigError
+
 MIN_VECTOR = 1 << 7
 MAX_VECTOR = 1 << 16
 
@@ -60,10 +62,19 @@ class Instruction:
     imm: Optional[int] = None
 
     def __post_init__(self):
+        if not isinstance(self.opcode, Opcode):
+            raise ConfigError(f"invalid opcode {self.opcode!r}")
         if self.opcode in (Opcode.DELAY, Opcode.BRANCH):
             return
+        if not isinstance(self.length, int) or isinstance(self.length, bool):
+            raise ConfigError(
+                f"vector length must be an integer, got {self.length!r}")
         if self.length < 1 or self.length > MAX_VECTOR:
-            raise ValueError(f"vector length {self.length} out of range")
+            raise ConfigError(f"vector length {self.length} out of range")
+        if self.addr is not None and (not isinstance(self.addr, int)
+                                      or self.addr < 0):
+            raise ConfigError(f"HBM address must be a non-negative "
+                              f"integer, got {self.addr!r}")
 
     @property
     def functional_unit(self) -> Optional[str]:
@@ -119,3 +130,80 @@ class Program:
                 regs.add(ins.dst)
             regs.update(ins.srcs)
         return regs
+
+    def validate(self, config=None, *,
+                 require_defined_sources: bool = True) -> None:
+        """Raise :class:`~repro.errors.ConfigError` if the program is
+        structurally impossible (see :func:`validate_program`)."""
+        validate_program(self, config,
+                         require_defined_sources=require_defined_sources)
+
+
+#: Operand shape per compute opcode: (number of sources, needs dst,
+#: needs addr).
+_OPERAND_SHAPE = {
+    Opcode.VLOAD: (0, True, True),
+    Opcode.VSTORE: (1, False, True),
+    Opcode.VADD: (2, True, False),
+    Opcode.VMUL: (2, True, False),
+    Opcode.VHASH: (2, True, False),
+    Opcode.VNTT: (1, True, False),
+    Opcode.VSHUF: (1, True, False),
+}
+
+
+def validate_program(program: Program, config=None, *,
+                     require_defined_sources: bool = False) -> None:
+    """Check a macro-op program against the ISA contract, failing fast
+    with an actionable :class:`~repro.errors.ConfigError`.
+
+    Checks per instruction: operand shape for the opcode (source count,
+    destination, HBM address), register names are strings, and — when a
+    ``config`` is given — VNTT lengths within the NTT FU base size.  With
+    ``require_defined_sources`` every source register must be written by
+    an earlier instruction (no reads of undefined registers).
+    """
+    if not isinstance(program, Program):
+        raise ConfigError(
+            f"expected a Program, got {type(program).__name__}")
+    written: set = set()
+    for pos, ins in enumerate(program.instructions):
+        if not isinstance(ins, Instruction):
+            raise ConfigError(f"instruction {pos} is not an Instruction: "
+                              f"{ins!r}")
+        where = f"instruction {pos} ({ins.opcode.value})"
+        if ins.opcode is Opcode.DELAY:
+            if ins.imm is not None and (not isinstance(ins.imm, int)
+                                        or ins.imm < 0):
+                raise ConfigError(f"{where}: DELAY cycles must be a "
+                                  f"non-negative integer, got {ins.imm!r}")
+            continue
+        if ins.opcode is Opcode.BRANCH:
+            if not isinstance(ins.imm, int):
+                raise ConfigError(f"{where}: BRANCH needs an integer "
+                                  "back-edge offset")
+            continue
+        n_srcs, needs_dst, needs_addr = _OPERAND_SHAPE[ins.opcode]
+        if len(ins.srcs) != n_srcs:
+            raise ConfigError(f"{where}: expected {n_srcs} source "
+                              f"register(s), got {len(ins.srcs)}")
+        if not all(isinstance(s, str) and s for s in ins.srcs):
+            raise ConfigError(f"{where}: source registers must be "
+                              "non-empty strings")
+        if needs_dst and not (isinstance(ins.dst, str) and ins.dst):
+            raise ConfigError(f"{where}: missing destination register")
+        if needs_addr and ins.addr is None:
+            raise ConfigError(f"{where}: missing HBM address")
+        if (config is not None and ins.opcode is Opcode.VNTT
+                and ins.length > config.ntt_base_size):
+            raise ConfigError(
+                f"{where}: VNTT length {ins.length} exceeds the FU base "
+                f"size {config.ntt_base_size}; larger NTTs must be "
+                "four-step sequences of base-size VNTTs")
+        if require_defined_sources:
+            for s in ins.srcs:
+                if s not in written:
+                    raise ConfigError(f"{where}: reads register {s!r} "
+                                      "before any instruction writes it")
+        if ins.dst:
+            written.add(ins.dst)

@@ -22,8 +22,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..errors import ConfigError
 from .config import DEFAULT_CONFIG, NoCapConfig
-from .isa import Instruction, Opcode, Program
+from .isa import Instruction, Opcode, Program, validate_program
 
 #: Pipeline depth (cycles from issue to writeback) per FU.
 PIPELINE_LATENCY = {
@@ -74,8 +75,8 @@ def occupancy_cycles(ins: Instruction, cfg: NoCapConfig) -> int:
         return 0
     per_cycle = _lanes(cfg, unit)
     if ins.opcode is Opcode.VNTT and ins.length > cfg.ntt_base_size:
-        raise ValueError("VNTT macro-ops are limited to the FU base size; "
-                         "larger NTTs are four-step sequences of VNTTs")
+        raise ConfigError("VNTT macro-ops are limited to the FU base size; "
+                          "larger NTTs are four-step sequences of VNTTs")
     return max(1, math.ceil(ins.length / per_cycle))
 
 
@@ -89,6 +90,9 @@ def schedule_program(program: Program,
     drained earlier macro-ops.
     """
     cfg = config or DEFAULT_CONFIG
+    # Fail fast on structurally impossible programs (typed ConfigError);
+    # sources may be preloaded registers, so definedness is not required.
+    validate_program(program, cfg)
     reg_ready: Dict[str, int] = {}      # register -> cycle its value is ready
     reg_last_read: Dict[str, int] = {}  # register -> last read completion
     fu_free: Dict[str, int] = {}        # unit -> next cycle it can accept

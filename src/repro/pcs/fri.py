@@ -29,6 +29,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..errors import VerificationError
 from ..field import vector as fv
 from ..field.goldilocks import MODULUS, inv
 from ..hashing.merkle import MerklePath, MerkleTree, verify_path
@@ -60,6 +61,19 @@ class FriQueryStep:
     sibling: int        # f(-x) at index + half
     path_value: MerklePath
     path_sibling: MerklePath
+
+
+def _query_step_well_formed(step) -> bool:
+    """Structural check for one untrusted query-chain step: canonical
+    integer values and Merkle paths of the expected shape."""
+    if not isinstance(step, FriQueryStep):
+        return False
+    for v in (step.value, step.sibling):
+        if (not isinstance(v, (int, np.integer)) or isinstance(v, bool)
+                or not 0 <= v < MODULUS):
+            return False
+    return (isinstance(step.path_value, MerklePath)
+            and isinstance(step.path_sibling, MerklePath))
 
 
 @dataclass
@@ -131,7 +145,8 @@ class FriProver:
 
         final_layer_coeffs = intt(current)
         if final_layer_coeffs[p.stop_degree:].any():
-            raise AssertionError("final layer exceeds the degree bound")
+            # Explicit typed check (a bare assert would vanish under -O).
+            raise VerificationError("final layer exceeds the degree bound")
         final_coeffs = [int(c) for c in final_layer_coeffs[: p.stop_degree]]
         transcript.absorb_fields(b"fri/final", final_coeffs)
 
@@ -161,7 +176,21 @@ class FriVerifier:
 
     def verify(self, degree_bound: int, proof: FriProof,
                transcript: Transcript) -> bool:
+        """Check a FRI proof; adversarial structure (wrong types, bad
+        digests, malformed query chains) is rejected with ``False``."""
         p = self.params
+        if not isinstance(proof, FriProof):
+            return False
+        if not isinstance(proof.layer_roots, list) or not all(
+                isinstance(r, (bytes, bytearray)) and len(r) == 32
+                for r in proof.layer_roots):
+            return False
+        if not isinstance(proof.final_coefficients, list) or not all(
+                isinstance(c, (int, np.integer)) and not isinstance(c, bool)
+                and 0 <= c < MODULUS for c in proof.final_coefficients):
+            return False
+        if not isinstance(proof.queries, list):
+            return False
         degree_bound = next_pow2(degree_bound)
         domain_size = p.blowup * degree_bound
 
@@ -190,7 +219,9 @@ class FriVerifier:
         final_coeffs = np.asarray(proof.final_coefficients, dtype=np.uint64)
 
         for idx, chain in zip(indices, proof.queries):
-            if len(chain) != expected_layers:
+            if not isinstance(chain, list) or len(chain) != expected_layers:
+                return False
+            if not all(_query_step_well_formed(s) for s in chain):
                 return False
             i = idx
             size = domain_size

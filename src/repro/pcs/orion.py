@@ -190,38 +190,60 @@ class OrionPCS:
                value: int, proof: OrionEvalProof,
                transcript: Transcript) -> bool:
         """Check an evaluation proof; mutates the transcript identically to
-        :meth:`open` so Fiat-Shamir challenges line up."""
+        :meth:`open` so Fiat-Shamir challenges line up.
+
+        The proof comes from an untrusted prover: structure is validated
+        *before* any transcript absorption or numpy arithmetic, so a
+        malformed proof is answered with ``False`` — never an
+        ``IndexError``, a broadcast error, or a stuck loop.
+        """
+        if not self._commitment_well_formed(commitment):
+            return False
         rows, cols = commitment.num_rows, commitment.num_cols
+        if rows != self.params.rows_for(commitment.table_len):
+            return False  # geometry must match the verifier's parameters
         if (1 << len(point)) != commitment.table_len:
             return False
-        transcript.absorb_digest(b"pcs/root", commitment.root)
+        if not isinstance(proof, OrionEvalProof):
+            return False
+        # Count checks first: the proximity loop length and every absorbed
+        # array must be attacker-independent before challenges are derived.
+        if len(proof.proximity_rows) != self.params.num_proximity_vectors:
+            return False
+        prox_rows = [_field_array(u, cols) for u in proof.proximity_rows]
+        eval_row = _field_array(proof.eval_row, cols)
+        if eval_row is None or any(u is None for u in prox_rows):
+            return False
+        codeword_len = self.code.codeword_length(cols)
+        if not isinstance(proof.query_indices, list) or not all(
+                isinstance(i, int) and 0 <= i < codeword_len
+                for i in proof.query_indices):
+            return False
 
+        transcript.absorb_digest(b"pcs/root", commitment.root)
         # Re-derive challenges in lockstep.
         gammas = []
-        for k, u in enumerate(proof.proximity_rows):
+        for k, u in enumerate(prox_rows):
             gamma = transcript.challenge_vector(b"pcs/gamma%d" % k, rows)
-            transcript.absorb_array(b"pcs/prox%d" % k, np.asarray(u, dtype=np.uint64))
+            transcript.absorb_array(b"pcs/prox%d" % k, u)
             gammas.append(gamma)
-        if len(gammas) != self.params.num_proximity_vectors:
-            return False
-        transcript.absorb_array(b"pcs/eval-row",
-                                np.asarray(proof.eval_row, dtype=np.uint64))
-        codeword_len = self.code.codeword_length(cols)
+        transcript.absorb_array(b"pcs/eval-row", eval_row)
         indices = transcript.challenge_indices(
             b"pcs/queries", self.code.num_queries, codeword_len)
         if indices != proof.query_indices:
+            return False
+        if not isinstance(proof.merkle, MerkleMultiProof):
             return False
         if proof.merkle.indices != sorted(set(indices)):
             return False
         if len(proof.columns) != len(proof.merkle.indices):
             return False
 
-        expected_col_rows = rows + (1 if self._mask_present(proof, rows) else 0)
-        cols_list = [np.asarray(c, dtype=np.uint64) for c in proof.columns]
-        if any(c.shape != (expected_col_rows,) for c in cols_list):
-            return False
-        if any(np.asarray(u, dtype=np.uint64).shape != (cols,)
-               for u in proof.proximity_rows + [proof.eval_row]):
+        expected_col_rows = rows + (1 if self._mask_present(proof, rows)
+                                    else 0)
+        cols_list = [_field_array(c, expected_col_rows)
+                     for c in proof.columns]
+        if any(c is None for c in cols_list):
             return False
 
         # One multiproof check covers every opened column.
@@ -231,9 +253,7 @@ class OrionPCS:
             return False
 
         # Encode all claimed combination rows in one batched call.
-        stacked = np.stack([np.asarray(u, dtype=np.uint64)
-                            for u in proof.proximity_rows]
-                           + [np.asarray(proof.eval_row, dtype=np.uint64)])
+        stacked = np.stack(prox_rows + [eval_row])
         codes = self.code.encode_rows(stacked)
         prox_codes, eval_code = codes[:-1], codes[-1]
 
@@ -254,9 +274,10 @@ class OrionPCS:
             return False
 
         # Finally, the claimed value must follow from the evaluation row.
-        expected = fv.dot(np.asarray(proof.eval_row, dtype=np.uint64),
-                          eq_table(col_point))
-        return expected == value % MODULUS
+        if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+            return False
+        expected = fv.dot(eval_row, eq_table(col_point))
+        return expected == int(value) % MODULUS
 
     # -- helpers ---------------------------------------------------------------
     @staticmethod
@@ -273,4 +294,43 @@ class OrionPCS:
 
     @staticmethod
     def _mask_present(proof: OrionEvalProof, rows: int) -> bool:
-        return bool(proof.columns) and proof.columns[0].size == rows + 1
+        if not proof.columns:
+            return False
+        first = _field_array(proof.columns[0])
+        return first is not None and first.size == rows + 1
+
+    @staticmethod
+    def _commitment_well_formed(c: OrionCommitment) -> bool:
+        """Geometry sanity for an untrusted commitment: 32-byte root,
+        power-of-two table split exactly into rows x cols."""
+        if not isinstance(c, OrionCommitment):
+            return False
+        if not isinstance(c.root, (bytes, bytearray)) or len(c.root) != 32:
+            return False
+        for n in (c.table_len, c.num_rows, c.num_cols):
+            if not isinstance(n, int) or n < 1:
+                return False
+        if c.table_len & (c.table_len - 1) or c.num_rows & (c.num_rows - 1):
+            return False
+        return c.num_rows * c.num_cols == c.table_len
+
+
+def _field_array(x, length: Optional[int] = None) -> Optional[np.ndarray]:
+    """Coerce untrusted input to a 1-D canonical uint64 vector, or None.
+
+    Rejects anything numpy cannot losslessly view as uint64 (negative or
+    huge ints, nested/ragged data, wrong dimensionality or length) and
+    any non-canonical element — all before the value touches a kernel
+    that assumes well-formed operands.
+    """
+    try:
+        arr = np.asarray(x, dtype=np.uint64)
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if arr.ndim != 1:
+        return None
+    if length is not None and arr.shape != (length,):
+        return None
+    if arr.size and int(arr.max()) >= MODULUS:
+        return None
+    return arr

@@ -205,5 +205,6 @@ def modexp(circuit: Circuit, base: BigNum, exponent: int,
         if e == 0:
             break
         acc = mulmod(circuit, acc, acc, modulus)
-    assert result is not None
+    if result is None:  # unreachable for exponent >= 1; survives python -O
+        raise ValueError("powmod produced no result")
     return result

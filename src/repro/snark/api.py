@@ -7,7 +7,8 @@
     ...build constraints, allocating public inputs and witnesses...
     snark = Snark.from_circuit(circuit)
     proof = snark.prove()
-    assert snark.verify(proof)
+    if not snark.verify(proof):
+        ...  # reject
 
 ``Snark`` binds an R1CS instance to a security preset; the proof object
 serializes to bytes (:mod:`repro.snark.serialize`) so it can be shipped to
@@ -21,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..errors import ReproError, VerificationError
 from ..hashing.transcript import Transcript
 from ..r1cs.builder import Circuit
 from ..r1cs.system import R1CS
@@ -75,12 +77,26 @@ class Snark:
         return ProofBundle(proof=proof, public=np.asarray(public, dtype=np.uint64))
 
     def verify(self, bundle: ProofBundle) -> bool:
-        """Check a proof against its public inputs."""
-        return self._verifier.verify(bundle.public, bundle.proof, Transcript())
+        """Check a proof against its public inputs.
+
+        Total over untrusted input: any malformed bundle — wrong types,
+        broken structure, a typed :class:`~repro.errors.ReproError` from
+        a lower layer — is a rejection (``False``), never a crash.
+        """
+        if not isinstance(bundle, ProofBundle):
+            return False
+        return self.verify_raw(bundle.public, bundle.proof)
 
     def verify_raw(self, public: np.ndarray, proof: SpartanProof) -> bool:
-        return self._verifier.verify(np.asarray(public, dtype=np.uint64),
-                                     proof, Transcript())
+        try:
+            public = np.asarray(public, dtype=np.uint64)
+        except (TypeError, ValueError, OverflowError):
+            return False
+        try:
+            return self._verifier.verify(public, proof, Transcript())
+        except ReproError:
+            # Typed rejection from a lower layer: the proof is invalid.
+            return False
 
 
 def prove_and_verify(circuit: Circuit,
@@ -89,5 +105,6 @@ def prove_and_verify(circuit: Circuit,
     snark = Snark.from_circuit(circuit, preset)
     bundle = snark.prove()
     if not snark.verify(bundle):
-        raise AssertionError("freshly generated proof failed verification")
+        raise VerificationError(
+            "freshly generated proof failed verification")
     return bundle

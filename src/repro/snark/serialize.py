@@ -3,6 +3,15 @@
 A compact little-endian format so measured wire sizes are honest: this is
 what travels over the paper's 10 MB/s prover-verifier link.  Layout is
 length-prefixed throughout; see the writer methods for the exact framing.
+
+The reader side is a *strict* parser: proof bytes come from an untrusted
+prover, so every length prefix is bounds-checked against the remaining
+buffer before a single element is read, every field element must be
+canonical (< Goldilocks p), structural counts are capped at
+protocol-plausible values, opened Merkle columns must match the
+commitment geometry, and trailing bytes are rejected.  All failures raise
+:class:`repro.errors.DeserializationError` with byte-offset context —
+never ``IndexError``, ``struct.error`` or a numpy exception.
 """
 
 from __future__ import annotations
@@ -12,6 +21,8 @@ from typing import List
 
 import numpy as np
 
+from ..errors import DeserializationError
+from ..field.goldilocks import MODULUS
 from ..hashing.merkle import MerkleMultiProof
 from ..pcs.orion import OrionCommitment, OrionEvalProof
 from ..spartan.protocol import RepetitionProof, SpartanProof
@@ -19,6 +30,16 @@ from ..spartan.protocol import RepetitionProof, SpartanProof
 MAGIC = b"NCAP"
 #: v2: column openings carry one Merkle multiproof instead of per-query paths.
 VERSION = 2
+
+#: Structural caps.  The field has 64-bit indices, so no sumcheck runs more
+#: than 64 rounds; repetitions beyond 64 exceed any soundness target; round
+#: polynomials are degree <= 7 in every deployed configuration.  Counts past
+#: these mark garbage (or a length-prefix DoS attempt), not a bigger proof.
+MAX_SUMCHECK_ROUNDS = 64
+MAX_REPETITIONS = 64
+MAX_ROUND_EVALS = 8
+#: A Merkle multiproof ships at most one sibling per level per query path.
+MAX_TREE_DEPTH = 64
 
 
 class _Writer:
@@ -54,13 +75,22 @@ class _Writer:
 
 
 class _Reader:
+    """Bounds-checked little-endian reader over untrusted bytes."""
+
     def __init__(self, data: bytes):
-        self.data = data
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise DeserializationError(
+                f"proof data must be bytes, got {type(data).__name__}")
+        self.data = bytes(data)
         self.pos = 0
+
+    def fail(self, message: str) -> "DeserializationError":
+        return DeserializationError(message, offset=self.pos)
 
     def _take(self, n: int) -> bytes:
         if self.pos + n > len(self.data):
-            raise ValueError("truncated proof data")
+            raise self.fail(f"truncated proof data: need {n} more bytes, "
+                            f"have {len(self.data) - self.pos}")
         chunk = self.data[self.pos : self.pos + n]
         self.pos += n
         return chunk
@@ -74,16 +104,45 @@ class _Reader:
     def u64(self) -> int:
         return struct.unpack("<Q", self._take(8))[0]
 
+    def count(self, what: str, item_bytes: int, cap: int = 1 << 32) -> int:
+        """Read a u32 length prefix, proving the claimed run of
+        ``item_bytes``-sized items can fit in the remaining buffer BEFORE
+        anything is allocated or looped over."""
+        n = self.u32()
+        if n > cap:
+            raise self.fail(f"{what} count {n} exceeds cap {cap}")
+        if item_bytes * n > len(self.data) - self.pos:
+            raise self.fail(f"{what} count {n} overruns the remaining "
+                            f"{len(self.data) - self.pos} bytes")
+        return n
+
     def digest(self) -> bytes:
         return self._take(32)
 
-    def fields(self) -> List[int]:
-        n = self.u32()
-        return [self.u64() for _ in range(n)]
+    def field(self, what: str = "field element") -> int:
+        v = self.u64()
+        if v >= MODULUS:
+            raise DeserializationError(
+                f"non-canonical {what} {v} >= modulus", offset=self.pos - 8)
+        return v
 
-    def array(self) -> np.ndarray:
-        n = self.u32()
-        return np.frombuffer(self._take(8 * n), dtype="<u8").astype(np.uint64)
+    def fields(self, what: str = "field vector",
+               expected: int | None = None) -> List[int]:
+        n = self.count(what, 8)
+        if expected is not None and n != expected:
+            raise self.fail(f"{what}: expected {expected} elements, got {n}")
+        return [self.field(what) for _ in range(n)]
+
+    def array(self, what: str = "field array",
+              expected: int | None = None) -> np.ndarray:
+        n = self.count(what, 8)
+        if expected is not None and n != expected:
+            raise self.fail(f"{what}: expected {expected} elements, got {n}")
+        arr = np.frombuffer(self._take(8 * n), dtype="<u8").astype(np.uint64)
+        if n and int(arr.max()) >= MODULUS:
+            raise DeserializationError(
+                f"non-canonical element in {what}", offset=self.pos - 8 * n)
+        return arr
 
     def done(self) -> bool:
         return self.pos == len(self.data)
@@ -107,13 +166,33 @@ def _write_pcs_proof(w: _Writer, p: OrionEvalProof) -> None:
         w.digest(node)
 
 
-def _read_pcs_proof(r: _Reader) -> OrionEvalProof:
-    proximity_rows = [r.array() for _ in range(r.u32())]
-    eval_row = r.array()
-    query_indices = [r.u32() for _ in range(r.u32())]
-    columns = [r.array() for _ in range(r.u32())]
-    nodes = [r.digest() for _ in range(r.u32())]
-    merkle = MerkleMultiProof(indices=sorted(set(query_indices)), nodes=nodes)
+def _read_pcs_proof(r: _Reader, c: OrionCommitment) -> OrionEvalProof:
+    """Parse one PCS opening, validated against the commitment geometry:
+    combination rows are ``num_cols`` wide, opened columns are ``num_rows``
+    (+1 with the zk mask row) tall, and the multiproof ships at most one
+    sibling per level per query."""
+    num_prox = r.count("proximity row", 4 + 8, cap=MAX_REPETITIONS)
+    proximity_rows = [r.array("proximity row", expected=c.num_cols)
+                      for _ in range(num_prox)]
+    eval_row = r.array("evaluation row", expected=c.num_cols)
+    num_queries = r.count("query index", 4)
+    query_indices = [r.u32() for _ in range(num_queries)]
+    num_cols_opened = r.count("opened column", 4 + 8 * c.num_rows)
+    distinct = sorted(set(query_indices))
+    if num_cols_opened != len(distinct):
+        raise r.fail(f"opened column count {num_cols_opened} does not match "
+                     f"{len(distinct)} distinct query indices")
+    columns = []
+    for _ in range(num_cols_opened):
+        col = r.array("opened column")
+        if col.size not in (c.num_rows, c.num_rows + 1):
+            raise r.fail(f"opened column height {col.size} does not match "
+                         f"commitment rows {c.num_rows} (+1 mask)")
+        columns.append(col)
+    num_nodes = r.count("Merkle node", 32,
+                        cap=max(1, num_queries) * MAX_TREE_DEPTH)
+    nodes = [r.digest() for _ in range(num_nodes)]
+    merkle = MerkleMultiProof(indices=distinct, nodes=nodes)
     return OrionEvalProof(proximity_rows, eval_row, query_indices, columns,
                           merkle)
 
@@ -133,15 +212,27 @@ def _write_repetition(w: _Writer, rp: RepetitionProof) -> None:
     _write_pcs_proof(w, rp.pcs_proof)
 
 
-def _read_repetition(r: _Reader) -> RepetitionProof:
+def _read_repetition(r: _Reader, c: OrionCommitment) -> RepetitionProof:
     from ..multilinear.sumcheck import SumcheckProof
 
-    sc1 = [r.fields() for _ in range(r.u32())]
-    va, vb, vc = r.u64(), r.u64(), r.u64()
-    sc2_rounds = [r.fields() for _ in range(r.u32())]
-    sc2_finals = r.fields()
-    w_eval = r.u64()
-    pcs_proof = _read_pcs_proof(r)
+    sc1 = []
+    for _ in range(r.count("sumcheck-1 round", 4, cap=MAX_SUMCHECK_ROUNDS)):
+        evals = r.fields("sumcheck-1 round")
+        if len(evals) > MAX_ROUND_EVALS:
+            raise r.fail(f"sumcheck-1 round has {len(evals)} evaluations")
+        sc1.append(evals)
+    va = r.field("va")
+    vb = r.field("vb")
+    vc = r.field("vc")
+    sc2_rounds = []
+    for _ in range(r.count("sumcheck-2 round", 4, cap=MAX_SUMCHECK_ROUNDS)):
+        evals = r.fields("sumcheck-2 round")
+        if len(evals) > MAX_ROUND_EVALS:
+            raise r.fail(f"sumcheck-2 round has {len(evals)} evaluations")
+        sc2_rounds.append(evals)
+    sc2_finals = r.fields("sumcheck-2 final values")
+    w_eval = r.field("witness evaluation")
+    pcs_proof = _read_pcs_proof(r, c)
     return RepetitionProof(sc1, va, vb, vc,
                            SumcheckProof(sc2_rounds, sc2_finals),
                            w_eval, pcs_proof)
@@ -164,15 +255,39 @@ def proof_to_bytes(proof: SpartanProof) -> bytes:
 
 
 def proof_from_bytes(data: bytes) -> SpartanProof:
-    """Parse a proof from its wire format; raises ValueError on corruption."""
+    """Strictly parse a proof from its wire format.
+
+    Raises :class:`~repro.errors.DeserializationError` (a ``ValueError``
+    subclass) on any malformed input; a successful return guarantees
+    canonical field elements and a commitment-consistent structure, so
+    the verifier can evaluate the proof without type or shape surprises.
+    """
     r = _Reader(data)
     if r._take(4) != MAGIC:
-        raise ValueError("bad magic")
-    if r.u8() != VERSION:
-        raise ValueError("unsupported proof version")
-    commitment = OrionCommitment(root=r.digest(), table_len=r.u64(),
-                                 num_rows=r.u32(), num_cols=r.u32())
-    reps = [_read_repetition(r) for _ in range(r.u32())]
+        raise DeserializationError("bad magic", offset=0)
+    version = r.u8()
+    if version != VERSION:
+        raise DeserializationError(
+            f"unsupported proof version {version}", offset=4)
+    root = r.digest()
+    table_len = r.u64()
+    num_rows = r.u32()
+    num_cols = r.u32()
+    if table_len == 0 or table_len & (table_len - 1):
+        raise r.fail(f"commitment table length {table_len} is not a "
+                     "power of two")
+    if num_rows == 0 or num_rows & (num_rows - 1):
+        raise r.fail(f"commitment row count {num_rows} is not a power of two")
+    if num_rows * num_cols != table_len:
+        raise r.fail(f"commitment geometry {num_rows}x{num_cols} does not "
+                     f"cover table length {table_len}")
+    commitment = OrionCommitment(root=root, table_len=table_len,
+                                 num_rows=num_rows, num_cols=num_cols)
+    # Each repetition carries at least the five count/value headers.
+    num_reps = r.count("repetition", 4, cap=MAX_REPETITIONS)
+    reps = [_read_repetition(r, commitment) for _ in range(num_reps)]
     if not r.done():
-        raise ValueError("trailing bytes after proof")
+        raise DeserializationError(
+            f"{len(r.data) - r.pos} trailing bytes after proof",
+            offset=r.pos)
     return SpartanProof(commitment, reps)

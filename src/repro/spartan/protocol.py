@@ -156,13 +156,24 @@ class SpartanVerifier:
 
     def verify(self, public: np.ndarray, proof: SpartanProof,
                transcript: Optional[Transcript] = None) -> bool:
+        """Check a proof against the public inputs.
+
+        ``proof`` is untrusted: structure is validated before any
+        transcript absorption or arithmetic, so malformed proofs are
+        rejected with ``False`` rather than an uncaught exception.
+        """
         tr = transcript or Transcript()
         r1cs = self.r1cs
         log_n = r1cs.shape.log_size
-        public = np.asarray(public, dtype=np.uint64)
-        if len(public) != r1cs.shape.num_public:
+        try:
+            public = np.asarray(public, dtype=np.uint64)
+        except (TypeError, ValueError, OverflowError):
             return False
-        if len(proof.repetitions) != self.params.repetitions:
+        if public.ndim != 1 or len(public) != r1cs.shape.num_public:
+            return False
+        if public.size and int(public.max()) >= MODULUS:
+            return False
+        if not self._proof_well_formed(proof, log_n):
             return False
 
         # Reconstruct the public half of z for direct evaluation.
@@ -175,6 +186,7 @@ class SpartanVerifier:
 
         for rep, rp in enumerate(proof.repetitions):
             label = b"spartan/rep%d" % rep
+            va, vb, vc = int(rp.va), int(rp.vb), int(rp.vc)
             tau = tr.challenge_fields(label + b"/tau", log_n)
 
             # Sumcheck 1: claim 0, degree 3.
@@ -183,16 +195,16 @@ class SpartanVerifier:
             if not res1.ok or len(res1.challenges) != log_n:
                 return False
             rx = res1.challenges
-            tr.absorb_fields(label + b"/sc1/final", [rp.va, rp.vb, rp.vc])
+            tr.absorb_fields(label + b"/sc1/final", [va, vb, vc])
             eq_at_rx = eq_eval(tau, rx)
             if not finish_constraint_sumcheck(res1.final_claim, eq_at_rx,
-                                              rp.va, rp.vb, rp.vc):
+                                              va, vb, vc):
                 return False
 
             r_a = tr.challenge_field(label + b"/ra")
             r_b = tr.challenge_field(label + b"/rb")
             r_c = tr.challenge_field(label + b"/rc")
-            claim2 = (r_a * rp.va + r_b * rp.vb + r_c * rp.vc) % MODULUS
+            claim2 = (r_a * va + r_b * vb + r_c * vc) % MODULUS
 
             # Sumcheck 2: degree 2; final factor values are (m_val, z_val).
             res2 = verify_sumcheck_rounds(claim2, rp.sc2.round_evals, 2, tr,
@@ -203,7 +215,7 @@ class SpartanVerifier:
             tr.absorb_fields(label + b"/sc2/final", rp.sc2.final_values)
             if len(rp.sc2.final_values) != 2:
                 return False
-            m_val, z_val = rp.sc2.final_values
+            m_val, z_val = (int(v) for v in rp.sc2.final_values)
             if m_val * z_val % MODULUS != res2.final_claim:
                 return False
 
@@ -215,16 +227,64 @@ class SpartanVerifier:
 
             # Check z_val = (1 - ry0) * pub~(ry[1:]) + ry0 * w~(ry[1:]).
             w_point = ry[1:]
-            tr.absorb_field(label + b"/w-eval", rp.w_eval)
+            w_eval = int(rp.w_eval)
+            tr.absorb_field(label + b"/w-eval", w_eval)
             pub_eval = mle_eval(pub_half, w_point)
             ry0 = ry[0] % MODULUS
-            expected_z = ((1 - ry0) * pub_eval + ry0 * rp.w_eval) % MODULUS
+            expected_z = ((1 - ry0) * pub_eval + ry0 * w_eval) % MODULUS
             if z_val % MODULUS != expected_z:
                 return False
 
             # PCS opening of w~ at ry[1:].
             if not self.pcs.verify(proof.witness_commitment, w_point,
-                                   rp.w_eval, rp.pcs_proof,
+                                   w_eval, rp.pcs_proof,
                                    tr.fork(label + b"/pcs")):
                 return False
         return True
+
+    def _proof_well_formed(self, proof: SpartanProof, log_n: int) -> bool:
+        """Structural validation of an untrusted proof object.
+
+        Everything the verify loop touches is checked here first: claimed
+        scalars are canonical integers, sumcheck containers are lists,
+        the commitment geometry matches this instance, and the repetition
+        count matches the preset.  Per-round polynomial shape is left to
+        :func:`verify_sumcheck_rounds`, which rejects with ``False``.
+        """
+        if not isinstance(proof, SpartanProof):
+            return False
+        c = proof.witness_commitment
+        if not OrionPCS._commitment_well_formed(c):
+            return False
+        if c.table_len != self.r1cs.shape.half:
+            return False
+        if c.num_rows != self.pcs.params.rows_for(c.table_len):
+            return False
+        if not isinstance(proof.repetitions, list):
+            return False
+        if len(proof.repetitions) != self.params.repetitions:
+            return False
+        for rp in proof.repetitions:
+            if not isinstance(rp, RepetitionProof):
+                return False
+            if not all(_canonical_scalar(v)
+                       for v in (rp.va, rp.vb, rp.vc, rp.w_eval)):
+                return False
+            if not isinstance(rp.sc1_round_evals, list):
+                return False
+            if not isinstance(rp.sc2, SumcheckProof):
+                return False
+            if not isinstance(rp.sc2.round_evals, list):
+                return False
+            if not isinstance(rp.sc2.final_values, list) or not all(
+                    _canonical_scalar(v) for v in rp.sc2.final_values):
+                return False
+            if not isinstance(rp.pcs_proof, OrionEvalProof):
+                return False
+        return True
+
+
+def _canonical_scalar(v) -> bool:
+    """True for a canonical field element carried as a plain integer."""
+    return (isinstance(v, (int, np.integer)) and not isinstance(v, bool)
+            and 0 <= v < MODULUS)

@@ -15,6 +15,7 @@ from typing import Tuple
 
 import numpy as np
 
+from ..errors import VerificationError
 from ..field import vector as fv
 from ..r1cs.matrices import SparseMatrix
 from ..r1cs.system import R1CS
@@ -72,5 +73,8 @@ def synthetic_r1cs(log_size: int, band: int = 64, nnz_per_row: int = 3,
 
     r1cs = R1CS(a, b, c, num_public=num_public, num_witness=half)
     public = z[:num_public].copy()
-    assert r1cs.is_satisfied(z)
+    if not r1cs.is_satisfied(z):
+        # Explicit check: a bare assert would vanish under python -O.
+        raise VerificationError("synthetic R1CS generator produced an "
+                                "unsatisfied instance")
     return r1cs, public, wit

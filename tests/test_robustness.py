@@ -1,0 +1,273 @@
+"""Adversarial-input hardening tests: the reject / never-crash /
+never-accept contract (see docs/ROBUSTNESS.md).
+
+Covers the typed error taxonomy, strict deserialization properties
+(hypothesis), transcript domain separation across circuits, the fuzz
+mutators, NoCap config/ISA validation, and the CLI's error exit codes.
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import (
+    ConfigError,
+    DeserializationError,
+    ReproError,
+    TranscriptError,
+    VerificationError,
+)
+from repro.fuzz.mutate import (
+    random_mutants,
+    splice_mutants,
+    structured_mutants,
+)
+from repro.nocap.config import NoCapConfig
+from repro.nocap.isa import Instruction, Opcode, Program, vadd, vload, vntt
+from repro.nocap.scheduler import schedule_program
+from repro.r1cs import Circuit
+from repro.snark import Snark, TEST, proof_from_bytes, proof_to_bytes
+
+
+def _cubic(x=3, out=35):
+    c = Circuit()
+    o = c.public(out)
+    w = c.witness(x)
+    c.assert_equal(c.mul(c.mul(w, w), w) + w + 5, o)
+    return c
+
+
+def _square(x=5, out=25):
+    c = Circuit()
+    o = c.public(out)
+    w = c.witness(x)
+    c.assert_equal(c.mul(w, w), o)
+    return c
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """One honest (snark, bundle, wire bytes) triple, proved once."""
+    snark = Snark.from_circuit(_cubic(), preset=TEST)
+    bundle = snark.prove()
+    return snark, bundle, proof_to_bytes(bundle.proof)
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(DeserializationError, ReproError)
+        assert issubclass(VerificationError, ReproError)
+        assert issubclass(TranscriptError, ReproError)
+        assert issubclass(ConfigError, ReproError)
+        # Back-compat: callers that caught ValueError keep working.
+        assert issubclass(DeserializationError, ValueError)
+        assert issubclass(ConfigError, ValueError)
+
+    def test_offset_context(self):
+        with pytest.raises(DeserializationError, match="byte offset"):
+            proof_from_bytes(b"NCAP\x02" + b"\x00" * 10)
+
+    def test_exported_from_package(self):
+        import repro
+
+        assert repro.ReproError is ReproError
+        assert repro.DeserializationError is DeserializationError
+
+
+class TestStrictParserProperties:
+    @given(st.data())
+    def test_single_byte_mutation_rejected(self, baseline, data):
+        """Any single-byte change is rejected via False or a typed
+        ReproError — never an IndexError, struct.error or numpy crash."""
+        snark, bundle, wire = baseline
+        pos = data.draw(st.integers(0, len(wire) - 1))
+        delta = data.draw(st.integers(1, 255))
+        buf = bytearray(wire)
+        buf[pos] = (buf[pos] + delta) % 256
+        try:
+            proof = proof_from_bytes(bytes(buf))
+        except ReproError:
+            return
+        assert snark.verify_raw(bundle.public, proof) is False
+
+    @given(st.binary(max_size=300))
+    def test_garbage_never_crashes(self, blob):
+        with pytest.raises(ReproError):
+            proof_from_bytes(blob)
+
+    def test_round_trip_is_stable(self, baseline):
+        snark, bundle, wire = baseline
+        proof = proof_from_bytes(wire)
+        assert proof_to_bytes(proof) == wire
+        assert snark.verify_raw(bundle.public, proof)
+
+    def test_truncation_every_prefix(self, baseline):
+        _, _, wire = baseline
+        for cut in range(0, len(wire), 7):
+            with pytest.raises(DeserializationError):
+                proof_from_bytes(wire[:cut])
+
+    def test_trailing_bytes_rejected(self, baseline):
+        _, _, wire = baseline
+        with pytest.raises(DeserializationError, match="trailing"):
+            proof_from_bytes(wire + b"\x00")
+
+
+class TestDomainSeparation:
+    def test_cross_circuit_proof_rejected(self, baseline):
+        """An honest proof of x^2==25 must not verify as x^3+x+5==35."""
+        snark_a, bundle_a, _ = baseline
+        snark_b = Snark.from_circuit(_square(), preset=TEST)
+        bundle_b = snark_b.prove()
+        assert snark_b.verify(bundle_b)  # sanity
+        assert not snark_a.verify_raw(bundle_a.public, bundle_b.proof)
+        assert not snark_b.verify_raw(bundle_b.public, bundle_a.proof)
+
+    def test_spliced_sections_rejected(self, baseline):
+        """Grafting commitment/sumcheck/opening sections between proofs
+        of different statements must never verify: the Fiat-Shamir
+        transcript binds every section to the statement."""
+        snark_a, bundle_a, wire_a = baseline
+        snark_b = Snark.from_circuit(_square(), preset=TEST)
+        bundle_b = snark_b.prove()
+        wire_b = proof_to_bytes(bundle_b.proof)
+        rng = random.Random(7)
+        mutants = splice_mutants(wire_a, wire_b, rng)
+        assert mutants
+        for m in mutants:
+            try:
+                proof = proof_from_bytes(m.data)
+            except ReproError:
+                continue
+            assert not snark_a.verify_raw(bundle_a.public, proof), m.mutator
+
+    def test_wrong_public_inputs_rejected(self, baseline):
+        snark, bundle, _ = baseline
+        bad = np.array(bundle.public, copy=True)
+        bad[-1] = (int(bad[-1]) + 1) % (2**64 - 2**32 + 1)
+        assert not snark.verify_raw(bad, bundle.proof)
+
+
+class TestMutators:
+    def test_structured_mutants_all_rejected(self, baseline):
+        snark, bundle, wire = baseline
+        rng = random.Random(11)
+        mutants = structured_mutants(wire, rng)
+        assert len(mutants) >= 15  # every mutator class fired
+        for m in mutants:
+            assert m.data != wire, f"{m.mutator} emitted a no-op mutant"
+            try:
+                proof = proof_from_bytes(m.data)
+            except ReproError:
+                continue
+            assert not snark.verify_raw(bundle.public, proof), m.mutator
+
+    def test_random_mutants_never_crash(self, baseline):
+        snark, bundle, wire = baseline
+        rng = random.Random(13)
+        for m in random_mutants(wire, rng, 40):
+            try:
+                proof = proof_from_bytes(m.data)
+            except ReproError:
+                continue
+            assert not snark.verify_raw(bundle.public, proof)
+
+
+class TestNoCapValidation:
+    def test_bad_lane_counts(self):
+        with pytest.raises(ConfigError, match="mul_lanes"):
+            NoCapConfig(mul_lanes=0)
+        with pytest.raises(ConfigError, match="hash_lanes"):
+            NoCapConfig(hash_lanes=-4)
+        with pytest.raises(ConfigError, match="frequency_hz"):
+            NoCapConfig(frequency_hz=float("inf"))
+        with pytest.raises(ConfigError, match="power of two"):
+            NoCapConfig(ntt_base_size=1000)
+
+    def test_bad_scale_factor(self):
+        with pytest.raises(ConfigError, match="scale factor"):
+            NoCapConfig().scale(hash=0.0)
+        with pytest.raises(ConfigError, match="unknown resources"):
+            NoCapConfig().scale(turbo=2.0)
+
+    def test_instruction_operand_shapes(self):
+        prog = Program()
+        prog.append(Instruction(Opcode.VADD, 128, dst="v0", srcs=("a",)))
+        with pytest.raises(ConfigError, match="source register"):
+            prog.validate(require_defined_sources=False)
+
+    def test_vntt_over_base_size(self):
+        cfg = NoCapConfig()
+        prog = Program()
+        prog.append(vntt("v0", "v1", cfg.ntt_base_size * 2))
+        with pytest.raises(ConfigError, match="base size"):
+            schedule_program(prog, cfg)
+
+    def test_use_before_def(self):
+        prog = Program()
+        prog.append(vadd("v1", "v0", "v0", 128))
+        with pytest.raises(ConfigError, match="before any instruction"):
+            prog.validate()
+        prog2 = Program()
+        prog2.append(vload("v0", 0, 128))
+        prog2.append(vadd("v1", "v0", "v0", 128))
+        prog2.validate()  # must not raise
+
+
+class TestCliExitCodes:
+    def test_config_error_exit_code(self, capsys):
+        from repro.cli import EXIT_CONFIG_ERROR, main
+
+        code = main(["simulate", "--log-n", "10", "--hash", "0"])
+        assert code == EXIT_CONFIG_ERROR
+        err = capsys.readouterr().err
+        assert "ConfigError" in err and "\n" == err[-1]
+
+    def test_strict_reraises(self):
+        from repro.cli import main
+
+        with pytest.raises(ConfigError):
+            main(["--strict", "simulate", "--log-n", "10", "--hash", "0"])
+
+
+class TestOptimizedMode:
+    def test_prove_verify_under_python_O(self):
+        """The verification boundary must not rely on `assert`: the whole
+        prove -> serialize -> parse -> verify loop, plus a rejected
+        mutation, runs identically under ``python -O``."""
+        src = Path(__file__).resolve().parent.parent / "src"
+        # NB: plain `assert` would be stripped by -O, so the script checks
+        # its outcomes with explicit exits.
+        script = (
+            "import sys\n"
+            "if __debug__: sys.exit(3)  # not actually running under -O\n"
+            "from repro.r1cs import Circuit\n"
+            "from repro.snark import Snark, TEST, proof_from_bytes, "
+            "proof_to_bytes\n"
+            "from repro.errors import ReproError\n"
+            "c = Circuit(); o = c.public(35); w = c.witness(3)\n"
+            "c.assert_equal(c.mul(c.mul(w, w), w) + w + 5, o)\n"
+            "s = Snark.from_circuit(c, preset=TEST)\n"
+            "b = s.prove()\n"
+            "wire = proof_to_bytes(b.proof)\n"
+            "if not s.verify_raw(b.public, proof_from_bytes(wire)):\n"
+            "    sys.exit(1)  # honest proof rejected\n"
+            "bad = bytearray(wire); bad[70] ^= 1\n"
+            "try:\n"
+            "    ok = s.verify_raw(b.public, proof_from_bytes(bytes(bad)))\n"
+            "except ReproError:\n"
+            "    ok = False\n"
+            "sys.exit(0 if not ok else 2)  # 2: mutant accepted\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-O", "-c", script],
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr

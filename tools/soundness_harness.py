@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Soundness fault-injection harness.
+
+Generates valid proofs for several small circuits, then attacks them with
+every structured mutator class in :mod:`repro.fuzz.mutate` plus N seeded
+random byte mutations, and asserts the trichotomy on every mutant:
+
+* rejected at parse time with a typed :class:`repro.errors.ReproError`, or
+* rejected by the verifier (``verify -> False``), or
+* NOTHING ELSE: no other exception may escape, and no mutant may verify.
+
+A machine-readable report is written to ``BENCH_soundness.json``.  Exit
+status is nonzero if any mutant was accepted or crashed untyped — CI runs
+this with small parameters on every push.
+
+Usage::
+
+    PYTHONPATH=src python tools/soundness_harness.py \
+        [--seed 0] [--random-mutants 150] [--out BENCH_soundness.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import ReproError
+from repro.fuzz.mutate import (
+    Mutant,
+    random_mutants,
+    splice_mutants,
+    structured_mutants,
+)
+from repro.r1cs import Circuit
+from repro.snark import Snark, TEST, proof_from_bytes, proof_to_bytes
+
+
+# ---------------------------------------------------------------------------
+# Target circuits: three distinct statements, all tiny (TEST preset)
+# ---------------------------------------------------------------------------
+
+def circuit_cubic() -> Circuit:
+    """x^3 + x + 5 == 35 (the classic toy statement)."""
+    c = Circuit()
+    o = c.public(35)
+    x = c.witness(3)
+    c.assert_equal(c.mul(c.mul(x, x), x) + x + 5, o)
+    return c
+
+
+def circuit_linear() -> Circuit:
+    """Multi-public linear system: 2a + 3b == out1, a - b == out2."""
+    c = Circuit()
+    o1 = c.public(26)
+    o2 = c.public(3)
+    a = c.witness(7)
+    b = c.witness(4)
+    c.assert_equal(a + a + b + b + b, o1)
+    c.assert_equal(a - b, o2)
+    return c
+
+
+def circuit_mulchain() -> Circuit:
+    """A chain of multiplications: prod(2..6) == 720."""
+    c = Circuit()
+    o = c.public(720)
+    acc = c.witness(2)
+    for v in (3, 4, 5, 6):
+        acc = c.mul(acc, c.witness(v))
+    c.assert_equal(acc, o)
+    return c
+
+
+CIRCUITS = {
+    "cubic": circuit_cubic,
+    "linear": circuit_linear,
+    "mulchain": circuit_mulchain,
+}
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+def classify(snark: Snark, public, mutant: Mutant, tally: dict,
+             failures: list) -> None:
+    """Run one mutant through parse + verify, enforcing the trichotomy."""
+    bucket = tally.setdefault(mutant.mutator, {
+        "parse_rejected": 0, "verify_rejected": 0,
+        "accepted": 0, "crashed": 0})
+    try:
+        proof = proof_from_bytes(mutant.data)
+    except ReproError:
+        bucket["parse_rejected"] += 1
+        return
+    except Exception as exc:  # noqa: BLE001 -- the harness's whole point
+        bucket["crashed"] += 1
+        failures.append({"mutator": mutant.mutator, "stage": "parse",
+                         "exception": type(exc).__name__, "message": str(exc)})
+        return
+    try:
+        ok = snark.verify_raw(public, proof)
+    except Exception as exc:  # noqa: BLE001
+        bucket["crashed"] += 1
+        failures.append({"mutator": mutant.mutator, "stage": "verify",
+                         "exception": type(exc).__name__, "message": str(exc)})
+        return
+    if ok:
+        bucket["accepted"] += 1
+        failures.append({"mutator": mutant.mutator, "stage": "verify",
+                         "exception": None,
+                         "message": "mutant proof ACCEPTED"})
+    else:
+        bucket["verify_rejected"] += 1
+
+
+def garbage_corpus(rng: random.Random) -> list:
+    """Edge-case inputs no honest serializer would ever emit."""
+    out = [
+        Mutant("garbage", b""),
+        Mutant("garbage", b"NCAP"),
+        Mutant("garbage", b"NCAP\x02"),
+        Mutant("garbage", b"\x00" * 57),
+        Mutant("garbage", bytes(range(256))),
+    ]
+    for n in (1, 13, 64, 257, 4096):
+        out.append(Mutant("garbage", rng.randbytes(n)))
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=0,
+                    help="PRNG seed for mutation choices (default 0)")
+    ap.add_argument("--random-mutants", type=int, default=150,
+                    help="random byte mutations per circuit (default 150)")
+    ap.add_argument("--out", default="BENCH_soundness.json",
+                    help="report path (default BENCH_soundness.json)")
+    args = ap.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    t0 = time.perf_counter()
+
+    print(f"building {len(CIRCUITS)} circuits and baseline proofs ...")
+    targets = {}
+    for name, build in CIRCUITS.items():
+        snark = Snark.from_circuit(build(), preset=TEST)
+        bundle = snark.prove()
+        data = proof_to_bytes(bundle.proof)
+        # Baseline sanity: the honest proof must verify, including after a
+        # serialization round trip, or mutant rejections mean nothing.
+        if not snark.verify(bundle):
+            print(f"FATAL: honest proof for {name!r} failed verification")
+            return 2
+        if not snark.verify_raw(bundle.public, proof_from_bytes(data)):
+            print(f"FATAL: round-tripped proof for {name!r} failed")
+            return 2
+        targets[name] = (snark, bundle.public, data)
+        print(f"  {name}: {len(data)} bytes")
+
+    tally: dict = {}
+    failures: list = []
+    total = 0
+
+    for name, (snark, public, data) in targets.items():
+        mutants = structured_mutants(data, rng)
+        mutants += random_mutants(data, rng, args.random_mutants)
+        mutants += garbage_corpus(rng)
+        for m in mutants:
+            classify(snark, public, m, tally, failures)
+        total += len(mutants)
+        print(f"  {name}: {len(mutants)} mutants")
+
+    # Cross-proof splices between every ordered pair of circuits.
+    names = list(targets)
+    for i, na in enumerate(names):
+        for nb in names[i + 1:]:
+            sa, pa, da = targets[na]
+            _, _, db = targets[nb]
+            for m in splice_mutants(da, db, rng):
+                classify(sa, pa, m, tally, failures)
+                total += 1
+
+    # Cross-circuit verification: an honest proof of statement A must not
+    # verify against statement B (transcript domain separation).
+    cross = tally.setdefault("cross_verify", {
+        "parse_rejected": 0, "verify_rejected": 0,
+        "accepted": 0, "crashed": 0})
+    for na in names:
+        for nb in names:
+            if na == nb:
+                continue
+            sb, pb, _ = targets[nb]
+            _, _, da = targets[na]
+            classify(sb, pb, Mutant("cross_verify", da), tally, failures)
+            total += 1
+    del cross  # populated via classify
+
+    # Type confusion at the API boundary: never a crash.
+    api = tally.setdefault("api_type_confusion", {
+        "parse_rejected": 0, "verify_rejected": 0,
+        "accepted": 0, "crashed": 0})
+    snark0, public0, _ = targets["cubic"]
+    for bogus in (None, 42, b"bytes", "proof", [1, 2], object()):
+        try:
+            if snark0.verify(bogus):
+                api["accepted"] += 1
+                failures.append({"mutator": "api_type_confusion",
+                                 "stage": "verify", "exception": None,
+                                 "message": f"verify({bogus!r}) returned True"})
+            else:
+                api["verify_rejected"] += 1
+        except Exception as exc:  # noqa: BLE001
+            api["crashed"] += 1
+            failures.append({"mutator": "api_type_confusion",
+                             "stage": "verify",
+                             "exception": type(exc).__name__,
+                             "message": str(exc)})
+        total += 1
+
+    elapsed = time.perf_counter() - t0
+    accepted = sum(b["accepted"] for b in tally.values())
+    crashed = sum(b["crashed"] for b in tally.values())
+    report = {
+        "seed": args.seed,
+        "circuits": names,
+        "total_mutants": total,
+        "elapsed_seconds": round(elapsed, 3),
+        "accepted": accepted,
+        "crashed": crashed,
+        "per_mutator": tally,
+        "failures": failures,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\n{total} mutants in {elapsed:.1f}s "
+          f"(report: {args.out})")
+    width = max(len(k) for k in tally)
+    for mutator, b in sorted(tally.items()):
+        print(f"  {mutator:<{width}}  parse-rej {b['parse_rejected']:>4}  "
+              f"verify-rej {b['verify_rejected']:>4}  "
+              f"accepted {b['accepted']}  crashed {b['crashed']}")
+    if accepted or crashed:
+        print(f"\nFAIL: {accepted} mutants accepted, {crashed} untyped "
+              "crashes — soundness boundary violated")
+        return 1
+    print("\nOK: every mutant rejected via False or a typed ReproError")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
