@@ -41,6 +41,7 @@ from . import (  # noqa: F401
     multilinear,
     nocap,
     ntt,
+    obs,
     pcs,
     r1cs,
     snark,
@@ -58,7 +59,7 @@ from .opcount import OpCount  # noqa: F401
 
 __all__ = [
     "analysis", "baselines", "code", "errors", "field", "hashing",
-    "multilinear", "nocap", "ntt", "pcs", "r1cs", "snark", "spartan",
+    "multilinear", "nocap", "ntt", "obs", "pcs", "r1cs", "snark", "spartan",
     "workloads", "OpCount", "__version__",
     "ReproError", "DeserializationError", "VerificationError",
     "TranscriptError", "ConfigError",

@@ -7,11 +7,15 @@ simulate     Simulate one NoCap proof (size, breakdowns, power).
 area         Print the Table II area breakdown.
 sensitivity  Print the Fig. 7 sensitivity sweep.
 prove        Build, prove and verify a demo workload circuit.
+trace        Prove a workload under the tracer, simulate it on NoCap, and
+             export a Chrome trace plus a per-phase breakdown
+             (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -52,8 +56,42 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_payload(report, power, log_n: int) -> dict:
+    """Machine-readable summary of one simulation (``simulate --json``)."""
+    from .obs import FAMILIES
+
+    time_fracs = report.time_fractions()
+    traffic_fracs = report.traffic_fractions()
+    return {
+        "schema": "repro/simulate",
+        "schema_version": 1,
+        "log_n": log_n,
+        "padded_constraints": report.padded_constraints,
+        "total_seconds": report.total_seconds,
+        "total_traffic_bytes": report.total_traffic_bytes,
+        "compute_utilization": report.compute_utilization(),
+        "memory_utilization": report.memory_utilization(),
+        "power_watts": {
+            "total": power.total_watts,
+            "fu": power.fu_watts,
+            "rf": power.rf_watts,
+            "hbm": power.hbm_watts,
+        },
+        # Stable column ordering: the canonical FAMILIES taxonomy.
+        "time_fractions": {f: time_fracs.get(f, 0.0) for f in FAMILIES},
+        "traffic_fractions": {f: traffic_fracs.get(f, 0.0)
+                              for f in FAMILIES},
+        "tasks": [
+            {"name": t.name, "family": t.family, "seconds": t.seconds,
+             "mem_bytes": t.mem_bytes, "bound": t.bound}
+            for t in report.task_times
+        ],
+    }
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .nocap import DEFAULT_CONFIG, NoCapSimulator, power_model
+    from .obs import FAMILIES
 
     cfg = DEFAULT_CONFIG
     scales = {}
@@ -66,6 +104,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     sim = NoCapSimulator(cfg)
     report = sim.simulate(1 << args.log_n, recompute=not args.no_recompute)
     power = power_model(report)
+    if args.trace_out:
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, report=report,
+                           metadata={"command": "simulate",
+                                     "log_n": args.log_n})
+    if args.json:
+        print(json.dumps(_simulate_payload(report, power, args.log_n),
+                         indent=2))
+        return 0
     print(f"NoCap proof of 2^{args.log_n} constraints: "
           f"{report.total_seconds * 1e3:.2f} ms")
     print(f"  HBM traffic: {report.total_traffic_bytes / 1e9:.2f} GB "
@@ -74,10 +122,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  power: {power.total_watts:.1f} W "
           f"(FUs {power.fu_watts:.1f}, RF {power.rf_watts:.1f}, "
           f"HBM {power.hbm_watts:.1f})")
-    print("  time by task family:")
-    for fam, frac in sorted(report.time_fractions().items(),
-                            key=lambda kv: -kv[1]):
-        print(f"    {fam:<10} {frac:6.1%}")
+    # Stable FAMILIES ordering so successive runs diff cleanly.
+    time_fracs = report.time_fractions()
+    traffic_fracs = report.traffic_fractions()
+    print(f"  {'family':<10} {'time':>7} {'traffic':>8}")
+    for fam in FAMILIES:
+        print(f"    {fam:<10} {time_fracs.get(fam, 0.0):6.1%} "
+              f"{traffic_fracs.get(fam, 0.0):7.1%}")
+    if args.trace_out:
+        print(f"  task timeline written to {args.trace_out}")
     return 0
 
 
@@ -120,25 +173,122 @@ _WORKLOAD_BUILDERS = {
     .auction_demo_circuit(num_bids=12, bid_bits=16)[0],
 }
 
+#: Paper-name spellings accepted on the command line.
+_WORKLOAD_ALIASES = {"sha256": "sha", "aes128": "aes"}
+
+
+def _workload_choices() -> List[str]:
+    return sorted(list(_WORKLOAD_BUILDERS) + list(_WORKLOAD_ALIASES))
+
+
+def _build_workload(name: str):
+    name = _WORKLOAD_ALIASES.get(name, name)
+    return name, _WORKLOAD_BUILDERS[name]()
+
+
+def _print_metrics(snapshot: dict) -> None:
+    print("metrics:")
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        print(f"  {name:<28} {value:>14,}")
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        print(f"  {name:<28} {value:>14,}")
+
 
 def _cmd_prove(args: argparse.Namespace) -> int:
     from .snark import Snark, TEST
 
-    circuit = _WORKLOAD_BUILDERS[args.workload]()
-    print(f"{args.workload}: {circuit.num_constraints} constraints")
+    name, circuit = _build_workload(args.workload)
+    print(f"{name}: {circuit.num_constraints} constraints")
     snark = Snark.from_circuit(circuit, preset=TEST)
-    t0 = time.perf_counter()
-    bundle = snark.prove()
-    t1 = time.perf_counter()
-    ok = snark.verify(bundle)
-    t2 = time.perf_counter()
+    tracer = None
+    trace_wanted = args.trace or args.trace_out or args.metrics
+    if trace_wanted:
+        from . import obs
+
+        with obs.tracing() as tracer:
+            t0 = time.perf_counter()
+            bundle = snark.prove()
+            t1 = time.perf_counter()
+            ok = snark.verify(bundle)
+            t2 = time.perf_counter()
+    else:
+        t0 = time.perf_counter()
+        bundle = snark.prove()
+        t1 = time.perf_counter()
+        ok = snark.verify(bundle)
+        t2 = time.perf_counter()
     print(f"prove: {t1 - t0:.2f} s | verify: {t2 - t1:.2f} s | "
           f"proof: {bundle.size_bytes()} bytes | valid: {ok}")
+    if tracer is not None and (args.trace or args.trace_out):
+        print("\nphase tree:")
+        print(tracer.format_tree())
+    if tracer is not None and args.metrics:
+        print()
+        _print_metrics(tracer.metrics_snapshot)
+    if tracer is not None and args.trace_out:
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, records=tracer.records(),
+                           metadata={"command": "prove", "workload": name})
+        print(f"\ntrace written to {args.trace_out}")
     from .analysis import estimate
 
     print("\nprojection at paper parameters:")
     print(estimate(circuit).summary())
     return 0 if ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Prove under the tracer, simulate the same statement on NoCap, and
+    emit Chrome trace + BENCH_phases.json with a drift table."""
+    from . import obs
+    from .nocap import NoCapSimulator
+    from .obs.export import write_chrome_trace, write_phases
+    from .snark import Snark, TEST
+
+    name, circuit = _build_workload(args.workload)
+    print(f"{name}: {circuit.num_constraints} constraints")
+    snark = Snark.from_circuit(circuit, preset=TEST)
+    with obs.tracing() as tracer:
+        bundle = snark.prove()
+        ok = snark.verify(bundle)
+    if not ok:
+        print("proof failed to verify", file=sys.stderr)
+        return 1
+
+    padded = 1 << snark.r1cs.shape.log_size
+    report = NoCapSimulator().simulate(padded)
+
+    write_chrome_trace(args.trace_out, records=tracer.records(),
+                       report=report,
+                       metadata={"command": "trace", "workload": name,
+                                 "padded_constraints": padded})
+    payload = write_phases(args.phases_out, tracer=tracer, report=report,
+                           workload=name)
+
+    func = payload["functional"]
+    sim = payload["simulated"]
+    print(f"functional prove: {func['total_s'] * 1e3:.1f} ms (measured) | "
+          f"NoCap: {sim['total_s'] * 1e3:.3f} ms (simulated, 2^"
+          f"{snark.r1cs.shape.log_size})")
+    print(f"\n  {'family':<10} {'measured':>10} {'meas %':>7} "
+          f"{'sim %':>7} {'drift':>7}")
+    for fam in obs.FAMILIES:
+        meas_s = func["seconds_by_family"][fam]
+        meas_f = func["fractions_by_family"][fam]
+        sim_f = sim["fractions_by_family"][fam]
+        print(f"  {fam:<10} {meas_s * 1e3:8.1f}ms {meas_f:6.1%} "
+              f"{sim_f:6.1%} {meas_f - sim_f:+6.1%}")
+    print("\n(drift = measured share - simulated share; large positive "
+          "values mark phases where\n the software prover is slower than "
+          "the hardware model expects)")
+    if args.metrics:
+        print()
+        _print_metrics(tracer.metrics_snapshot)
+    print(f"\ntrace written to {args.trace_out} "
+          f"(open in https://ui.perfetto.dev)")
+    print(f"phase breakdown written to {args.phases_out}")
+    return 0
 
 
 #: Distinct exit codes per error class, so scripted callers can tell a
@@ -173,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
     for resource in ("arith", "hash", "ntt", "hbm", "rf"):
         sim.add_argument(f"--{resource}", type=float, default=1.0,
                          help=f"scale factor for {resource} (default 1.0)")
+    sim.add_argument("--json", action="store_true",
+                     help="print a machine-readable summary instead of text")
+    sim.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write the simulated task timeline as Chrome "
+                          "trace-event JSON")
     sim.set_defaults(func=_cmd_simulate)
 
     sub.add_parser("area", help="print the Table II area breakdown"
@@ -181,8 +336,31 @@ def build_parser() -> argparse.ArgumentParser:
                    ).set_defaults(func=_cmd_sensitivity)
 
     prove = sub.add_parser("prove", help="prove+verify a demo workload")
-    prove.add_argument("workload", choices=sorted(_WORKLOAD_BUILDERS))
+    prove.add_argument("workload", choices=_workload_choices())
+    prove.add_argument("--trace", action="store_true",
+                       help="record prover phase spans and print the tree")
+    prove.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="write the span tree as Chrome trace-event JSON "
+                            "(implies --trace)")
+    prove.add_argument("--metrics", action="store_true",
+                       help="print kernel counters (hashes, butterflies, ...)")
     prove.set_defaults(func=_cmd_prove)
+
+    trace = sub.add_parser(
+        "trace",
+        help="prove under the tracer + simulate on NoCap, export Chrome "
+             "trace and per-phase breakdown")
+    trace.add_argument("workload", choices=_workload_choices())
+    trace.add_argument("--trace-out", metavar="PATH", default="trace.json",
+                       help="Chrome trace-event JSON output path "
+                            "(default trace.json)")
+    trace.add_argument("--phases-out", metavar="PATH",
+                       default="BENCH_phases.json",
+                       help="per-phase breakdown output path "
+                            "(default BENCH_phases.json)")
+    trace.add_argument("--metrics", action="store_true",
+                       help="also print kernel counters")
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

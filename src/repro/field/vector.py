@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from .goldilocks import MODULUS
+from ..obs.metrics import METRICS as _METRICS
 
 import functools
 
@@ -248,6 +249,7 @@ def mul(a: np.ndarray, b: np.ndarray, canonical: bool = True) -> np.ndarray:
     split-accumulate reductions), never ``add``/``sub``-style kernels that
     assume operands < p.
     """
+    _METRICS.inc("field.mul_batches")
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
     if a.ndim == 0 and b.ndim == 0:
@@ -289,6 +291,7 @@ def scale_add(base: np.ndarray, diff: np.ndarray, s: int) -> np.ndarray:
     and streaming it back through :func:`add`.  ``base`` may be any uint64
     representative; the result is canonical.
     """
+    _METRICS.inc("field.scale_add_batches")
     base = np.asarray(base, dtype=np.uint64)
     diff = np.asarray(diff, dtype=np.uint64)
     if base.shape != diff.shape or base.ndim == 0:

@@ -23,6 +23,7 @@ from ..field import vector as fv
 from ..field.goldilocks import MODULUS
 from ..field.poly import interpolate_eval
 from ..hashing.transcript import Transcript
+from ..obs.metrics import METRICS as _METRICS
 
 #: The field has 64-bit indices: no honest sumcheck runs more rounds.
 MAX_VERIFY_ROUNDS = 64
@@ -97,6 +98,8 @@ def prove_sumcheck(tables: Sequence[np.ndarray], transcript: Transcript,
         raise ValueError("table length must be a power of two")
     num_rounds = n.bit_length() - 1
     degree = len(tables)
+    _METRICS.inc("sumcheck.instances")
+    _METRICS.inc("sumcheck.rounds", num_rounds)
     current = (claim if claim is not None else _product_sum(tables)) % MODULUS
 
     xs = list(range(degree + 1))

@@ -20,7 +20,13 @@ from .multiaccelerator import RackOperatingPoint, rack_scale, scaling_curve
 from .permutations import grouped_interleave, wide_rotate
 from .power import PowerBreakdown, power_model
 from .scheduler import Schedule, schedule_program
-from .simulator import NoCapSimulator, SimulationReport, prover_seconds
+from .simulator import (
+    FAMILIES,
+    NoCapSimulator,
+    SimulationReport,
+    TaskRecord,
+    prover_seconds,
+)
 from .tasks import TaskCost, build_prover_tasks
 
 __all__ = [
@@ -35,6 +41,7 @@ __all__ = [
     "link_prover_program", "simulate_linked_prover",
     "PowerBreakdown", "power_model",
     "Schedule", "schedule_program",
-    "NoCapSimulator", "SimulationReport", "prover_seconds",
+    "FAMILIES", "NoCapSimulator", "SimulationReport", "TaskRecord",
+    "prover_seconds",
     "TaskCost", "build_prover_tasks",
 ]

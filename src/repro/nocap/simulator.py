@@ -9,15 +9,46 @@ power model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
 
 from . import constants as C
+from ..obs import FAMILIES  # canonical task-family taxonomy (Fig. 6)
 from .config import DEFAULT_CONFIG, NoCapConfig
 from .tasks import TaskCost, build_prover_tasks
 
-FAMILIES = ("sumcheck", "polyarith", "rs_encode", "merkle", "spmv", "other")
 COMPUTE_UNITS = ("mul", "add", "hash", "shuffle", "ntt")
+
+
+@dataclass
+class TaskRecord:
+    """One simulated task's outcome: what ran, for how long, and why.
+
+    ``bound`` records which side of the max(compute, memory) latency model
+    won — the paper's memory-bound vs compute-bound classification per
+    family (Fig. 6).  Iterating (or indexing) a record yields the legacy
+    ``(name, family, seconds)`` tuple so pre-existing consumers of
+    ``SimulationReport.task_times`` keep working unchanged.
+    """
+
+    name: str
+    family: str
+    seconds: float
+    mem_bytes: float = 0.0
+    bound: str = "compute"              # "compute" | "memory"
+    fu_cycles: Dict[str, float] = field(default_factory=dict)
+
+    def _legacy_tuple(self) -> tuple:
+        return (self.name, self.family, self.seconds)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._legacy_tuple())
+
+    def __getitem__(self, i):
+        return self._legacy_tuple()[i]
+
+    def __len__(self) -> int:
+        return 3
 
 
 @dataclass
@@ -30,7 +61,7 @@ class SimulationReport:
     time_by_family: Dict[str, float]
     traffic_by_family: Dict[str, float]
     busy_cycles_by_unit: Dict[str, float]
-    task_times: List[tuple]
+    task_times: List[TaskRecord]
 
     @property
     def total_traffic_bytes(self) -> float:
@@ -73,7 +104,7 @@ class NoCapSimulator:
         time_by_family = {f: 0.0 for f in FAMILIES}
         traffic_by_family = {f: 0.0 for f in FAMILIES}
         busy = {u: 0.0 for u in COMPUTE_UNITS}
-        task_times = []
+        task_times: List[TaskRecord] = []
         total = 0.0
         for task in tasks:
             seconds = task.time_seconds(cfg)
@@ -82,9 +113,19 @@ class NoCapSimulator:
                 time_by_family.get(task.family, 0.0) + seconds)
             traffic_by_family[task.family] = (
                 traffic_by_family.get(task.family, 0.0) + task.mem_bytes)
-            for unit, cycles in task.compute_cycles(cfg).items():
-                busy[unit] += cycles
-            task_times.append((task.name, task.family, seconds))
+            cycles = task.compute_cycles(cfg)
+            for unit, c in cycles.items():
+                busy[unit] += c
+            compute_s = max(cycles.values()) / cfg.frequency_hz
+            memory_s = task.mem_bytes / cfg.hbm_bytes_per_s
+            task_times.append(TaskRecord(
+                name=task.name,
+                family=task.family,
+                seconds=seconds,
+                mem_bytes=task.mem_bytes,
+                bound="memory" if memory_s >= compute_s else "compute",
+                fu_cycles=cycles,
+            ))
         return SimulationReport(
             config=cfg,
             padded_constraints=padded_constraints,

@@ -1,0 +1,95 @@
+"""Unified tracing & metrics for the functional prover and the simulator.
+
+Zero-dependency observability layer (ISSUE 3): nested wall/CPU-time spans
+labeled with the paper's task families, a process-wide counter/gauge
+registry, and exporters to Chrome trace-event JSON (Perfetto-loadable)
+plus the machine-readable ``BENCH_phases.json`` breakdown.
+
+Instrumented code uses the module-level helpers::
+
+    from repro import obs
+
+    with obs.span("pcs.commit", "rs_encode", n=len(table)):
+        ...
+
+and stays on a no-op fast path (a shared null span, a disabled metrics
+registry) until a trace is started::
+
+    with obs.tracing() as tracer:
+        snark.prove()
+    print(tracer.format_tree())
+
+See ``docs/OBSERVABILITY.md`` for the span taxonomy and counter list.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+from .metrics import METRICS, MetricsRegistry, peak_rss_bytes  # noqa: F401
+from .tracer import (  # noqa: F401
+    FAMILIES,
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+)
+from . import export  # noqa: F401
+
+#: The active tracer: module state, single-threaded like the prover.
+_active = NULL_TRACER
+
+
+def span(name: str, family: str = "other", **attrs):
+    """Open a span on the active tracer (no-op when tracing is off)."""
+    return _active.span(name, family, **attrs)
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active :class:`Tracer`, or None when tracing is disabled."""
+    return _active if isinstance(_active, Tracer) else None
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` (or None to disable) as the active tracer."""
+    global _active
+    _active = tracer if tracer is not None else NULL_TRACER
+
+
+def start_trace(metrics: bool = True) -> Tracer:
+    """Begin recording: install a fresh Tracer, optionally enabling and
+    resetting the metrics registry."""
+    if metrics:
+        METRICS.reset()
+        METRICS.enabled = True
+    tracer = Tracer(METRICS)
+    set_tracer(tracer)
+    return tracer
+
+
+def stop_trace() -> Optional[Tracer]:
+    """Finish the active trace (snapshot metrics, restore the no-op path)."""
+    tracer = get_tracer()
+    if tracer is not None:
+        tracer.finish()
+    METRICS.enabled = False
+    set_tracer(None)
+    return tracer
+
+
+@contextmanager
+def tracing(metrics: bool = True):
+    """``with obs.tracing() as tracer:`` — scoped start/stop."""
+    tracer = start_trace(metrics=metrics)
+    try:
+        yield tracer
+    finally:
+        stop_trace()
+
+
+__all__ = [
+    "FAMILIES", "METRICS", "MetricsRegistry", "NullTracer", "NULL_TRACER",
+    "SpanRecord", "Tracer", "export", "get_tracer", "peak_rss_bytes",
+    "set_tracer", "span", "start_trace", "stop_trace", "tracing",
+]

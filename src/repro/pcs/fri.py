@@ -38,6 +38,7 @@ from ..hashing.transcript import Transcript
 from ..ntt.polymul import next_pow2, poly_eval_domain
 from ..ntt.radix2 import intt
 from ..ntt.roots import primitive_root
+from ..obs import span as _span
 
 DEFAULT_BLOWUP = 4
 DEFAULT_QUERIES = 30
@@ -123,48 +124,56 @@ class FriProver:
         padded[: len(coeffs)] = coeffs
 
         domain_size = p.blowup * degree_bound
-        values = poly_eval_domain(padded, domain_size)  # the NTT
+        with _span("fri.prove", "other", degree_bound=degree_bound,
+                   domain=domain_size):
+            with _span("fri.ntt", "rs_encode", n=domain_size):
+                values = poly_eval_domain(padded, domain_size)  # the NTT
 
-        layers: List[np.ndarray] = []
-        trees: List[MerkleTree] = []
-        roots: List[bytes] = []
-        gen = primitive_root(domain_size)
-        current = values
-        bound = degree_bound
-        while bound > p.stop_degree:
-            tree = MerkleTree([hash_elements(np.array([v], dtype=np.uint64))
-                               for v in current])
-            layers.append(current)
-            trees.append(tree)
-            roots.append(tree.root)
-            transcript.absorb_digest(b"fri/root", tree.root)
-            beta = transcript.challenge_field(b"fri/beta")
-            current = _fold_layer(current, beta, gen)
-            gen = gen * gen % MODULUS
-            bound //= 2
+            layers: List[np.ndarray] = []
+            trees: List[MerkleTree] = []
+            roots: List[bytes] = []
+            gen = primitive_root(domain_size)
+            current = values
+            bound = degree_bound
+            while bound > p.stop_degree:
+                with _span("fri.commit_layer", "merkle", leaves=len(current)):
+                    tree = MerkleTree(
+                        [hash_elements(np.array([v], dtype=np.uint64))
+                         for v in current])
+                layers.append(current)
+                trees.append(tree)
+                roots.append(tree.root)
+                transcript.absorb_digest(b"fri/root", tree.root)
+                beta = transcript.challenge_field(b"fri/beta")
+                with _span("fri.fold", "polyarith", n=len(current)):
+                    current = _fold_layer(current, beta, gen)
+                gen = gen * gen % MODULUS
+                bound //= 2
 
-        final_layer_coeffs = intt(current)
-        if final_layer_coeffs[p.stop_degree:].any():
-            # Explicit typed check (a bare assert would vanish under -O).
-            raise VerificationError("final layer exceeds the degree bound")
-        final_coeffs = [int(c) for c in final_layer_coeffs[: p.stop_degree]]
-        transcript.absorb_fields(b"fri/final", final_coeffs)
+            final_layer_coeffs = intt(current)
+            if final_layer_coeffs[p.stop_degree:].any():
+                # Explicit typed check (a bare assert would vanish under -O).
+                raise VerificationError("final layer exceeds the degree bound")
+            final_coeffs = [int(c)
+                            for c in final_layer_coeffs[: p.stop_degree]]
+            transcript.absorb_fields(b"fri/final", final_coeffs)
 
-        indices = transcript.challenge_indices(
-            b"fri/queries", p.num_queries, domain_size)
-        queries = []
-        for idx in indices:
-            chain = []
-            i = idx
-            for layer, tree in zip(layers, trees):
-                half = len(layer) // 2
-                i %= half
-                chain.append(FriQueryStep(
-                    value=int(layer[i]),
-                    sibling=int(layer[i + half]),
-                    path_value=tree.open(i),
-                    path_sibling=tree.open(i + half)))
-            queries.append(chain)
+            indices = transcript.challenge_indices(
+                b"fri/queries", p.num_queries, domain_size)
+            with _span("fri.queries", "merkle", queries=len(indices)):
+                queries = []
+                for idx in indices:
+                    chain = []
+                    i = idx
+                    for layer, tree in zip(layers, trees):
+                        half = len(layer) // 2
+                        i %= half
+                        chain.append(FriQueryStep(
+                            value=int(layer[i]),
+                            sibling=int(layer[i + half]),
+                            path_value=tree.open(i),
+                            path_sibling=tree.open(i + half)))
+                    queries.append(chain)
         return FriProof(roots, final_coeffs, queries)
 
 

@@ -48,6 +48,7 @@ from ..hashing.merkle import (
 from ..hashing.fieldhash import hash_columns
 from ..hashing.transcript import Transcript
 from ..multilinear.mle import combine_rows, eq_table
+from ..obs import span as _span
 
 #: Paper parameters (Sec. VII-A).
 DEFAULT_ROWS = 128
@@ -132,12 +133,16 @@ class OrionPCS:
             raise ValueError("table length must be a power of two")
         rows = self.params.rows_for(n)
         cols = n // rows
-        matrix = table.reshape(rows, cols)
-        if self.params.zk_mask:
-            mask = fv.rand_vector(cols, self._rng).reshape(1, cols)
-            matrix = np.vstack([matrix, mask])
-        codewords = self.code.encode_rows(matrix)
-        tree = MerkleTree.from_columns(codewords)
+        with _span("pcs.commit", "other", n=n, rows=rows, cols=cols):
+            matrix = table.reshape(rows, cols)
+            if self.params.zk_mask:
+                mask = fv.rand_vector(cols, self._rng).reshape(1, cols)
+                matrix = np.vstack([matrix, mask])
+            with _span("rs.encode", "rs_encode",
+                       rows=matrix.shape[0], cols=cols):
+                codewords = self.code.encode_rows(matrix)
+            with _span("merkle.build", "merkle", leaves=codewords.shape[1]):
+                tree = MerkleTree.from_columns(codewords)
         commitment = OrionCommitment(
             root=tree.root, table_len=n, num_rows=rows, num_cols=cols)
         return commitment, _ProverState(matrix, codewords, tree,
@@ -152,30 +157,38 @@ class OrionPCS:
             raise ValueError("point dimension does not match committed table")
         transcript.absorb_digest(b"pcs/root", commitment.root)
 
-        # Proximity test rows (mask folded in with coefficient 1).
-        proximity_rows = []
-        for k in range(self.params.num_proximity_vectors):
-            gamma = transcript.challenge_vector(b"pcs/gamma%d" % k, rows)
-            coeffs = self._with_mask(gamma, state.has_mask, mask_coeff=1)
-            u = combine_rows(state.matrix, coeffs)
-            transcript.absorb_array(b"pcs/prox%d" % k, u)
-            proximity_rows.append(u)
+        with _span("pcs.open", "other", rows=rows, cols=cols):
+            # Proximity test rows (mask folded in with coefficient 1).
+            with _span("pcs.open.proximity", "polyarith",
+                       vectors=self.params.num_proximity_vectors):
+                proximity_rows = []
+                for k in range(self.params.num_proximity_vectors):
+                    gamma = transcript.challenge_vector(
+                        b"pcs/gamma%d" % k, rows)
+                    coeffs = self._with_mask(gamma, state.has_mask,
+                                             mask_coeff=1)
+                    u = combine_rows(state.matrix, coeffs)
+                    transcript.absorb_array(b"pcs/prox%d" % k, u)
+                    proximity_rows.append(u)
 
-        # Evaluation row (mask excluded: coefficient 0).
-        row_point, _col_point = self._split_point(point, rows)
-        r = eq_table(row_point)
-        coeffs = self._with_mask(r, state.has_mask, mask_coeff=0)
-        eval_row = combine_rows(state.matrix, coeffs)
-        transcript.absorb_array(b"pcs/eval-row", eval_row)
+            # Evaluation row (mask excluded: coefficient 0).
+            with _span("pcs.open.eval_row", "polyarith"):
+                row_point, _col_point = self._split_point(point, rows)
+                r = eq_table(row_point)
+                coeffs = self._with_mask(r, state.has_mask, mask_coeff=0)
+                eval_row = combine_rows(state.matrix, coeffs)
+                transcript.absorb_array(b"pcs/eval-row", eval_row)
 
-        # Column queries, shared by all tests; one multiproof for all paths.
-        codeword_len = self.code.codeword_length(cols)
-        indices = transcript.challenge_indices(
-            b"pcs/queries", self.code.num_queries, codeword_len)
-        multiproof = open_many(state.tree, indices)
-        opened = state.codewords[:, multiproof.indices]
-        columns = [np.ascontiguousarray(opened[:, k])
-                   for k in range(opened.shape[1])]
+            # Column queries, shared by all tests; one multiproof for all
+            # paths.
+            codeword_len = self.code.codeword_length(cols)
+            indices = transcript.challenge_indices(
+                b"pcs/queries", self.code.num_queries, codeword_len)
+            with _span("merkle.open", "merkle", queries=len(indices)):
+                multiproof = open_many(state.tree, indices)
+                opened = state.codewords[:, multiproof.indices]
+                columns = [np.ascontiguousarray(opened[:, k])
+                           for k in range(opened.shape[1])]
         return OrionEvalProof(proximity_rows, eval_row, indices, columns,
                               multiproof)
 

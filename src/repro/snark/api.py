@@ -24,6 +24,7 @@ import numpy as np
 
 from ..errors import ReproError, VerificationError
 from ..hashing.transcript import Transcript
+from ..obs import span as _span
 from ..r1cs.builder import Circuit
 from ..r1cs.system import R1CS
 from ..spartan.protocol import SpartanProof, SpartanProver, SpartanVerifier
@@ -73,7 +74,10 @@ class Snark:
         witness = witness if witness is not None else self._witness
         if public is None or witness is None:
             raise ValueError("no assignment: pass public and witness explicitly")
-        proof = self._prover.prove(public, witness, Transcript())
+        with _span("snark.prove", "other",
+                   constraints=self.r1cs.shape.num_constraints,
+                   repetitions=self._params.repetitions):
+            proof = self._prover.prove(public, witness, Transcript())
         return ProofBundle(proof=proof, public=np.asarray(public, dtype=np.uint64))
 
     def verify(self, bundle: ProofBundle) -> bool:
@@ -93,7 +97,8 @@ class Snark:
         except (TypeError, ValueError, OverflowError):
             return False
         try:
-            return self._verifier.verify(public, proof, Transcript())
+            with _span("snark.verify", "other"):
+                return self._verifier.verify(public, proof, Transcript())
         except ReproError:
             # Typed rejection from a lower layer: the proof is invalid.
             return False

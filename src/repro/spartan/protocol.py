@@ -34,6 +34,7 @@ from ..multilinear.sumcheck import (
     prove_sumcheck,
     verify_sumcheck_rounds,
 )
+from ..obs import span as _span
 from ..pcs.orion import OrionCommitment, OrionEvalProof, OrionPCS
 from ..r1cs.system import R1CS
 from .matrixeval import combined_matrix_eval
@@ -100,13 +101,15 @@ class SpartanProver:
         """Prove knowledge of ``witness`` satisfying the R1CS on ``public``."""
         tr = transcript or Transcript()
         r1cs = self.r1cs
-        z = r1cs.assemble_z(public, witness)
+        log_n = r1cs.shape.log_size
+        with _span("spartan.witness", "other", n=1 << log_n):
+            z = r1cs.assemble_z(public, witness)
         # One SpMV pass serves both the satisfaction check and sumcheck #1
         # (is_satisfied would recompute all three products).
-        az, bz, cz = r1cs.products(z)
+        with _span("spartan.spmv", "spmv", n=1 << log_n):
+            az, bz, cz = r1cs.products(z)
         if (fv.mul(az, bz) != cz).any():
             raise ValueError("witness does not satisfy the constraint system")
-        log_n = r1cs.shape.log_size
         pub_half, wit_half = r1cs.split_z(z)
 
         tr.absorb_array(b"spartan/public", np.asarray(public, dtype=np.uint64))
@@ -115,33 +118,37 @@ class SpartanProver:
         reps: List[RepetitionProof] = []
         for rep in range(self.params.repetitions):
             label = b"spartan/rep%d" % rep
-            tau = tr.challenge_fields(label + b"/tau", log_n)
-            # The eq(tau, .) factor is handled inside the sumcheck via its
-            # tensor split (scalar prefix x static suffix tables) — the
-            # full 2^L eq table is never materialized.
-            sc1_rounds, (va, vb, vc), rx = prove_constraint_sumcheck(
-                tau, az, bz, cz, tr, label + b"/sc1")
+            with _span("spartan.rep%d" % rep, "other", rep=rep):
+                tau = tr.challenge_fields(label + b"/tau", log_n)
+                # The eq(tau, .) factor is handled inside the sumcheck via
+                # its tensor split (scalar prefix x static suffix tables) —
+                # the full 2^L eq table is never materialized.
+                with _span("spartan.sumcheck1", "sumcheck", rounds=log_n):
+                    sc1_rounds, (va, vb, vc), rx = prove_constraint_sumcheck(
+                        tau, az, bz, cz, tr, label + b"/sc1")
 
-            r_a = tr.challenge_field(label + b"/ra")
-            r_b = tr.challenge_field(label + b"/rb")
-            r_c = tr.challenge_field(label + b"/rc")
-            claim2 = (r_a * va + r_b * vb + r_c * vc) % MODULUS
+                r_a = tr.challenge_field(label + b"/ra")
+                r_b = tr.challenge_field(label + b"/rb")
+                r_c = tr.challenge_field(label + b"/rc")
+                claim2 = (r_a * va + r_b * vb + r_c * vc) % MODULUS
 
-            # Fused (r_a*A + r_b*B + r_c*C)^T eq(rx): one stacked SpMV
-            # instead of three (equals combined_matrix_row on (A, B, C)).
-            m_row = r1cs.combined_transpose_matvec((r_a, r_b, r_c),
-                                                   eq_table(rx))
-            sc2, ry = prove_sumcheck([m_row, z], tr, label + b"/sc2",
-                                     claim=claim2)
+                # Fused (r_a*A + r_b*B + r_c*C)^T eq(rx): one stacked SpMV
+                # instead of three (equals combined_matrix_row on (A, B, C)).
+                with _span("spartan.matrix_combine", "spmv"):
+                    m_row = r1cs.combined_transpose_matvec((r_a, r_b, r_c),
+                                                           eq_table(rx))
+                with _span("spartan.sumcheck2", "sumcheck", rounds=log_n):
+                    sc2, ry = prove_sumcheck([m_row, z], tr, label + b"/sc2",
+                                             claim=claim2)
 
-            # Open w~ at ry[1:] (ry[0] selects the witness half).
-            w_point = ry[1:]
-            w_eval = mle_eval(wit_half, w_point)
-            tr.absorb_field(label + b"/w-eval", w_eval)
-            pcs_proof = self.pcs.open(state, commitment, w_point,
-                                      tr.fork(label + b"/pcs"))
-            reps.append(RepetitionProof(sc1_rounds, va, vb, vc, sc2,
-                                        w_eval, pcs_proof))
+                # Open w~ at ry[1:] (ry[0] selects the witness half).
+                w_point = ry[1:]
+                w_eval = mle_eval(wit_half, w_point)
+                tr.absorb_field(label + b"/w-eval", w_eval)
+                pcs_proof = self.pcs.open(state, commitment, w_point,
+                                          tr.fork(label + b"/pcs"))
+                reps.append(RepetitionProof(sc1_rounds, va, vb, vc, sc2,
+                                            w_eval, pcs_proof))
         return SpartanProof(commitment, reps)
 
 

@@ -17,6 +17,7 @@ from ..field import vector as fv
 from ..field.goldilocks import MODULUS
 from ..field.poly import interpolate_eval
 from ..hashing.transcript import Transcript
+from ..obs.metrics import METRICS as _METRICS
 
 DEGREE = 3
 
@@ -59,6 +60,8 @@ def prove_constraint_sumcheck(
     taus = [int(t) % MODULUS for t in tau]
     if len(taus) != num_rounds:
         raise ValueError(f"need {num_rounds} eq coordinates, got {len(taus)}")
+    _METRICS.inc("sumcheck.instances")
+    _METRICS.inc("sumcheck.rounds", num_rounds)
 
     # Suffix eq tables, back to front: suffixes[rnd] = eq_table(tau[rnd+1:])
     # (variable rnd+1 most significant, matching the fold order).  Total

@@ -22,6 +22,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["prove", "nonsense"])
 
+    def test_paper_workload_aliases_accepted(self):
+        assert build_parser().parse_args(
+            ["prove", "sha256"]).workload == "sha256"
+        assert build_parser().parse_args(
+            ["trace", "aes128"]).workload == "aes128"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "sha"])
+        assert args.trace_out == "trace.json"
+        assert args.phases_out == "BENCH_phases.json"
+        assert not args.metrics
+
 
 class TestCommands:
     def test_simulate(self, capsys):
@@ -56,3 +68,68 @@ class TestCommands:
         assert main(["prove", "auction"]) == 0
         out = capsys.readouterr().out
         assert "valid: True" in out
+
+    def test_simulate_json(self, capsys):
+        import json
+
+        assert main(["simulate", "--log-n", "18", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro/simulate"
+        assert payload["padded_constraints"] == 1 << 18
+        assert list(payload["time_fractions"]) == list(
+            payload["traffic_fractions"])
+        assert sum(payload["time_fractions"].values()) == pytest.approx(1.0)
+        assert payload["tasks"]
+        assert all(t["bound"] in ("compute", "memory")
+                   for t in payload["tasks"])
+
+    def test_simulate_family_table_stable_order(self, capsys):
+        from repro.obs import FAMILIES
+
+        assert main(["simulate", "--log-n", "18"]) == 0
+        out = capsys.readouterr().out
+        positions = [out.index(fam) for fam in FAMILIES]
+        assert positions == sorted(positions)
+        assert "traffic" in out
+
+    def test_simulate_trace_out(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "sim_trace.json"
+        assert main(["simulate", "--log-n", "16",
+                     "--trace-out", str(path)]) == 0
+        obj = json.loads(path.read_text())
+        assert validate_chrome_trace(obj) == []
+
+    def test_prove_trace_flags(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(["prove", "auction", "--trace-out", str(path),
+                     "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "phase tree" in out
+        assert "snark.prove" in out
+        assert "merkle.hashes" in out
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+    def test_trace_command(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.export import validate_chrome_trace, validate_phases
+
+        trace = tmp_path / "trace.json"
+        phases = tmp_path / "phases.json"
+        assert main(["trace", "sha256", "--trace-out", str(trace),
+                     "--phases-out", str(phases)]) == 0
+        out = capsys.readouterr().out
+        assert "drift" in out
+        assert validate_chrome_trace(json.loads(trace.read_text())) == []
+        payload = json.loads(phases.read_text())
+        assert validate_phases(payload) == []
+        assert payload["workload"] == "sha"  # alias resolved
+        assert "functional" in payload and "simulated" in payload

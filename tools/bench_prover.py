@@ -10,6 +10,13 @@ deliberate — on a shared machine the minimum tracks the code's cost while
 the mean tracks the machine's load.  Every timed proof is verified; the
 run aborts if any fails.
 
+Since schema_version 2 each row also carries a per-phase breakdown
+(exclusive wall seconds per task family, from one additional traced
+prove) and the harness asserts that the *disabled* tracer's projected
+overhead — measured null-span / disabled-counter unit costs times the
+observed instrumentation-event counts — stays under 2% of the proving
+time, so the observability layer cannot silently tax the hot path.
+
 Run:  PYTHONPATH=src python tools/bench_prover.py --json BENCH_prover.json
 """
 
@@ -26,7 +33,9 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from repro import obs
 from repro.hashing import Transcript
+from repro.obs.metrics import METRICS
 from repro.pcs import OrionPCS, PCSParams
 from repro.spartan import SpartanParams, SpartanProver, SpartanVerifier
 from repro.workloads import synthetic_r1cs
@@ -34,9 +43,36 @@ from repro.workloads import synthetic_r1cs
 #: Paper-scale row count for the Orion matrix (Sec. VII-A).
 DEFAULT_NUM_ROWS = 128
 
+#: Ceiling on the disabled tracer's projected share of proving time.
+MAX_NOOP_OVERHEAD_FRAC = 0.02
+
+
+def measure_instrumentation_unit_costs(iters: int = 200_000) -> dict:
+    """Per-event cost of *disabled* instrumentation: a null span and a
+    disabled counter increment, measured by tight-loop amortization."""
+    assert obs.get_tracer() is None and not METRICS.enabled
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        with obs.span("bench.noop", "other"):
+            pass
+    span_s = (time.perf_counter() - t0) / iters
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        METRICS.inc("bench.noop")
+    inc_s = (time.perf_counter() - t0) / iters
+    return {"null_span_s": span_s, "disabled_inc_s": inc_s}
+
+
+def noop_overhead_frac(prove_s: float, num_spans: int, num_incs: int,
+                       unit_costs: dict) -> float:
+    """Projected fraction of ``prove_s`` spent in disabled instrumentation."""
+    cost = (num_spans * unit_costs["null_span_s"]
+            + num_incs * unit_costs["disabled_inc_s"])
+    return cost / prove_s if prove_s else 0.0
+
 
 def bench_size(log_size: int, num_rows: int, repeats: int,
-               repetitions: int) -> dict:
+               repetitions: int, unit_costs: dict) -> dict:
     """Time prove/verify at 2^log_size constraints; returns one JSON row."""
     r1cs, public, witness = synthetic_r1cs(log_size, band=16, seed=log_size)
     params = SpartanParams(repetitions=repetitions)
@@ -54,6 +90,23 @@ def bench_size(log_size: int, num_rows: int, repeats: int,
         raise SystemExit(f"proof at 2^{log_size} failed to verify")
     verify_s = min_wall(repeats, lambda: verifier.verify(public, proof,
                                                          Transcript()))
+
+    # One traced prove for the per-phase breakdown and the event counts
+    # feeding the no-op-overhead projection.
+    with obs.tracing() as tracer:
+        prover.prove(public, witness, Transcript())
+    counters = tracer.metrics_snapshot.get("counters", {})
+    num_spans = len(tracer.records())
+    # Per-call counters dominate the inc count; everything else (trees,
+    # sumcheck instances, encode calls) is O(10) per proof.
+    num_incs = (counters.get("field.mul_batches", 0)
+                + counters.get("field.scale_add_batches", 0) + 64)
+    overhead = noop_overhead_frac(prove_s, num_spans, num_incs, unit_costs)
+    if overhead >= MAX_NOOP_OVERHEAD_FRAC:
+        raise SystemExit(
+            f"disabled-tracer overhead projection at 2^{log_size} is "
+            f"{overhead:.2%} of proving time (limit "
+            f"{MAX_NOOP_OVERHEAD_FRAC:.0%}): the no-op fast path regressed")
     return {
         "log_size": log_size,
         "num_constraints": 1 << log_size,
@@ -61,6 +114,13 @@ def bench_size(log_size: int, num_rows: int, repeats: int,
         "verify_s": round(verify_s, 6),
         "proof_size_bytes": proof.size_bytes(),
         "verified": True,
+        "phase_seconds": {fam: round(s, 6) for fam, s in
+                          sorted(tracer.family_seconds().items())},
+        "instrumentation": {
+            "spans": num_spans,
+            "counter_incs_est": num_incs,
+            "noop_overhead_frac": round(overhead, 6),
+        },
     }
 
 
@@ -94,17 +154,26 @@ def main(argv=None) -> int:
     if args.repeats < 1:
         ap.error("--repeats must be at least 1")
 
+    unit_costs = measure_instrumentation_unit_costs()
+    print(f"disabled instrumentation: null span "
+          f"{unit_costs['null_span_s'] * 1e9:.0f} ns, "
+          f"disabled inc {unit_costs['disabled_inc_s'] * 1e9:.0f} ns")
+
     results = []
-    print(f"{'size':>6} {'prove (s)':>10} {'verify (s)':>10} {'proof (B)':>10}")
+    print(f"{'size':>6} {'prove (s)':>10} {'verify (s)':>10} {'proof (B)':>10}"
+          f" {'noop ovh':>9}")
     for log_size in range(args.min_log, args.max_log + 1):
         row = bench_size(log_size, args.num_rows, args.repeats,
-                         args.repetitions)
+                         args.repetitions, unit_costs)
         results.append(row)
         print(f"  2^{log_size:<3} {row['prove_s']:>10.4f} "
-              f"{row['verify_s']:>10.4f} {row['proof_size_bytes']:>10}")
+              f"{row['verify_s']:>10.4f} {row['proof_size_bytes']:>10} "
+              f"{row['instrumentation']['noop_overhead_frac']:>9.4%}")
 
     payload = {
         "benchmark": "spartan_orion_functional_prover",
+        "schema": "repro/bench-prover",
+        "schema_version": 2,
         "workload": "synthetic_r1cs(band=16)",
         "num_rows": args.num_rows,
         "repetitions": args.repetitions,
@@ -112,6 +181,9 @@ def main(argv=None) -> int:
         "timing": "best-of-N wall clock, warm",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "instrumentation_unit_costs_s": {
+            k: round(v, 12) for k, v in unit_costs.items()},
+        "max_noop_overhead_frac": MAX_NOOP_OVERHEAD_FRAC,
         "results": results,
     }
     Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
