@@ -18,7 +18,7 @@ import random
 from repro.analysis import photo_modification
 from repro.field.goldilocks import MODULUS
 from repro.r1cs import Circuit
-from repro.snark import Snark, TEST
+from repro.snark import TEST, prove, setup, verify
 
 #: Fold constant of the toy accumulator commitment the "camera" signs.
 #: (Stands in for the hash circuit a production deployment would use.)
@@ -73,16 +73,17 @@ def main() -> None:
     circuit = crop_circuit(image, width, rect)
     print(f"circuit: {circuit.num_constraints} constraints")
 
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    bundle = snark.prove()
-    assert snark.verify(bundle)
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset=TEST)
+    bundle = prove(pk, public, witness, circuit_id="photo-crop")
+    assert verify(vk, bundle)
     print(f"crop proof verified ({bundle.size_bytes()} bytes); the "
           "cropped-away pixels were never revealed")
 
     # A forged crop pixel must fail.
-    bad = bundle.public.copy()
-    bad[2] = (int(bad[2]) + 1) % MODULUS
-    assert not snark.verify_raw(bad, bundle.proof)
+    bundle.public = bundle.public.copy()
+    bundle.public[2] = (int(bundle.public[2]) + 1) % MODULUS
+    assert not verify(vk, bundle)
     print("forged crop rejected")
 
     # Paper-scale projection for a 256 KB image.

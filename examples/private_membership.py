@@ -17,7 +17,7 @@ import random
 from repro.hashing import poseidon
 from repro.r1cs import Circuit
 from repro.r1cs.poseidon_gadget import merkle_verify_gadget
-from repro.snark import Snark, TEST
+from repro.snark import TEST, prove, setup, verify
 
 
 def membership_circuit(root: int, credential: int, index: int,
@@ -49,9 +49,10 @@ def main() -> None:
     print(f"membership circuit: {circuit.num_constraints} constraints "
           f"(depth-{len(path)} Poseidon path)")
 
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    bundle = snark.prove()
-    assert snark.verify(bundle)
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset=TEST)
+    bundle = prove(pk, public, witness, circuit_id="membership")
+    assert verify(vk, bundle)
     print(f"membership proof verified ({bundle.size_bytes()} bytes) — "
           "the verifier learns nothing about which credential")
 

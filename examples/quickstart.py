@@ -1,15 +1,15 @@
 """Quickstart: prove knowledge of a secret satisfying a public equation.
 
 The prover convinces the verifier it knows x with x^3 + x + 5 = 35,
-without revealing x (= 3).  Demonstrates the full pipeline: circuit
-construction, R1CS compilation, Spartan+Orion proving, serialization,
-and verification.
+without revealing x (= 3).  Demonstrates the full lifecycle: circuit
+construction, R1CS compilation, key generation, Spartan+Orion proving,
+envelope serialization, and verification.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.r1cs import Circuit
-from repro.snark import Snark, TEST, proof_from_bytes, proof_to_bytes
+from repro.snark import ProofBundle, TEST, prove, setup, verify
 
 
 def main() -> None:
@@ -22,26 +22,31 @@ def main() -> None:
     print(f"circuit: {circuit.num_constraints} constraints, "
           f"{circuit.num_variables} variables")
 
-    # 2. Compile + prove.  TEST preset shrinks the soundness knobs so the
-    #    demo is instant; PAPER is the 128-bit configuration.
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    bundle = snark.prove()
+    # 2. Compile + keygen.  The proving key stays with the prover, the
+    #    verifying key goes to the relying party.  TEST shrinks the
+    #    soundness knobs so the demo is instant; PAPER is 128-bit.
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset=TEST)
+
+    # 3. Prove.
+    bundle = prove(pk, public, witness, circuit_id="quickstart")
     print(f"proof generated: {bundle.size_bytes()} bytes "
           f"(security preset: {TEST.name})")
 
-    # 3. Ship it: the proof serializes to a compact wire format.
-    wire = proof_to_bytes(bundle.proof)
-    print(f"wire format: {len(wire)} bytes")
+    # 4. Ship it: the bundle serializes to a self-describing envelope
+    #    (preset id + public inputs + proof payload in one blob).
+    wire = bundle.to_bytes()
+    print(f"envelope: {len(wire)} bytes")
 
-    # 4. Verify (the verifier only needs the R1CS, public inputs, proof).
-    restored = proof_from_bytes(wire)
-    assert snark.verify_raw(bundle.public, restored)
+    # 5. Verify (the verifier needs only the verifying key + envelope).
+    restored = ProofBundle.from_bytes(wire)
+    assert verify(vk, restored)
     print("proof verified: the prover knows x with x^3 + x + 5 = 35")
 
-    # 5. A wrong public input must fail.
-    bad_public = bundle.public.copy()
-    bad_public[1] = 36
-    assert not snark.verify_raw(bad_public, restored)
+    # 6. A wrong public input must fail.
+    restored.public = restored.public.copy()
+    restored.public[1] = 36
+    assert not verify(vk, restored)
     print("tampered statement rejected")
 
 

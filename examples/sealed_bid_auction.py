@@ -10,7 +10,7 @@ Run:  python examples/sealed_bid_auction.py
 
 import random
 
-from repro.snark import Snark, TEST
+from repro.snark import TEST, prove, setup, verify
 from repro.workloads import auction_circuit
 
 
@@ -27,16 +27,17 @@ def main() -> None:
     circuit, amount = auction_circuit(bids, winner, bid_bits)
     print(f"auction circuit: {circuit.num_constraints} constraints")
 
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    bundle = snark.prove()
-    assert snark.verify(bundle)
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset=TEST)
+    bundle = prove(pk, public, witness, circuit_id="auction")
+    assert verify(vk, bundle)
     print(f"auction proof verified ({bundle.size_bytes()} bytes): every "
           "losing bid is <= the announced price, and the winner bid it")
 
     # An inflated announced price must fail verification.
-    bad = bundle.public.copy()
-    bad[2] = int(bad[2]) + 1
-    assert not snark.verify_raw(bad, bundle.proof)
+    bundle.public = bundle.public.copy()
+    bundle.public[2] = int(bundle.public[2]) + 1
+    assert not verify(vk, bundle)
     print("inflated price rejected")
 
     # A dishonest winner declaration is rejected at circuit construction.

@@ -13,7 +13,7 @@ Run:  python examples/verifiable_database.py
 from repro.analysis import database_throughput
 from repro.baselines import DEFAULT_CPU
 from repro.nocap.simulator import prover_seconds as nocap_prover_seconds
-from repro.snark import Snark, TEST
+from repro.snark import TEST, prove, setup, verify
 from repro.workloads import litmus_circuit, random_transactions
 
 
@@ -28,15 +28,16 @@ def main() -> None:
     print(f"  initial table: {initial_table}")
     print(f"  final table:   {final_table}")
 
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    bundle = snark.prove()
-    assert snark.verify(bundle)
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset=TEST)
+    bundle = prove(pk, public, witness, circuit_id="litmus")
+    assert verify(vk, bundle)
     print(f"  transaction batch proof verified ({bundle.size_bytes()} bytes)")
 
     # A tampered final state must fail.
-    bad = bundle.public.copy()
-    bad[1 + num_rows] = (int(bad[1 + num_rows]) + 1)
-    assert not snark.verify_raw(bad, bundle.proof)
+    bundle.public = bundle.public.copy()
+    bundle.public[1 + num_rows] = (int(bundle.public[1 + num_rows]) + 1)
+    assert not verify(vk, bundle)
     print("  forged final state rejected")
 
     # -- performance layer: the paper's operating points ---------------------

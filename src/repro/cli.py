@@ -6,7 +6,11 @@ tables       Print Tables I, IV and V (end-to-end, proving, speedups).
 simulate     Simulate one NoCap proof (size, breakdowns, power).
 area         Print the Table II area breakdown.
 sensitivity  Print the Fig. 7 sensitivity sweep.
-prove        Build, prove and verify a demo workload circuit.
+prove        Build, prove and verify a demo workload circuit; ``--out``
+             writes the proof as a self-describing envelope, ``--workers``
+             fans the prover kernels across processes.
+verify       Verify a proof envelope written by ``prove --out`` (exit
+             codes per docs/ROBUSTNESS.md).
 trace        Prove a workload under the tracer, simulate it on NoCap, and
              export a Chrome trace plus a per-phase breakdown
              (see docs/OBSERVABILITY.md).
@@ -194,29 +198,46 @@ def _print_metrics(snapshot: dict) -> None:
         print(f"  {name:<28} {value:>14,}")
 
 
-def _cmd_prove(args: argparse.Namespace) -> int:
-    from .snark import Snark, TEST
+def _make_pool(args: argparse.Namespace):
+    """A live ProverPool when ``--workers N>1`` was given, else None."""
+    workers = getattr(args, "workers", None)
+    if workers is None or workers <= 1:
+        return None
+    from .parallel import ProverPool
 
+    return ProverPool(workers)
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from .snark import preset_by_name, prove, setup, verify
+
+    preset = preset_by_name(args.preset)
     name, circuit = _build_workload(args.workload)
     print(f"{name}: {circuit.num_constraints} constraints")
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    tracer = None
-    trace_wanted = args.trace or args.trace_out or args.metrics
-    if trace_wanted:
-        from . import obs
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset)
+    pool = _make_pool(args)
 
-        with obs.tracing() as tracer:
-            t0 = time.perf_counter()
-            bundle = snark.prove()
-            t1 = time.perf_counter()
-            ok = snark.verify(bundle)
-            t2 = time.perf_counter()
-    else:
+    def run():
         t0 = time.perf_counter()
-        bundle = snark.prove()
+        bundle = prove(pk, public, witness, pool=pool, circuit_id=name)
         t1 = time.perf_counter()
-        ok = snark.verify(bundle)
+        ok = verify(vk, bundle)
         t2 = time.perf_counter()
+        return bundle, ok, t0, t1, t2
+
+    tracer = None
+    try:
+        if args.trace or args.trace_out or args.metrics:
+            from . import obs
+
+            with obs.tracing() as tracer:
+                bundle, ok, t0, t1, t2 = run()
+        else:
+            bundle, ok, t0, t1, t2 = run()
+    finally:
+        if pool is not None:
+            pool.close()
     print(f"prove: {t1 - t0:.2f} s | verify: {t2 - t1:.2f} s | "
           f"proof: {bundle.size_bytes()} bytes | valid: {ok}")
     if tracer is not None and (args.trace or args.trace_out):
@@ -229,13 +250,56 @@ def _cmd_prove(args: argparse.Namespace) -> int:
         from .obs.export import write_chrome_trace
 
         write_chrome_trace(args.trace_out, records=tracer.records(),
-                           metadata={"command": "prove", "workload": name})
+                           metadata={"command": "prove", "workload": name},
+                           worker_records=tracer.worker_records())
         print(f"\ntrace written to {args.trace_out}")
+    if args.out:
+        raw = bundle.to_bytes()
+        with open(args.out, "wb") as fh:
+            fh.write(raw)
+        print(f"proof bundle ({len(raw)} bytes, preset {preset.name}) "
+              f"written to {args.out}")
     from .analysis import estimate
 
     print("\nprojection at paper parameters:")
     print(estimate(circuit).summary())
     return 0 if ok else 1
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Verify a serialized proof bundle against its embedded statement.
+
+    Exit codes follow docs/ROBUSTNESS.md: 0 valid, 4 malformed envelope
+    (DeserializationError), 5 proof invalid, 3 configuration problems
+    (unknown preset / unresolvable circuit id).
+    """
+    from .errors import ConfigError
+    from .snark import ProofBundle, preset_by_name, setup, verify
+
+    with open(args.bundle, "rb") as fh:
+        raw = fh.read()
+    # Strict parse: DeserializationError propagates to main() -> exit 4.
+    bundle = ProofBundle.from_bytes(raw)
+    workload = args.workload or bundle.circuit_id
+    if not workload:
+        raise ConfigError(
+            "bundle carries no circuit id; pass --workload to name the "
+            "statement it proves")
+    resolved = _WORKLOAD_ALIASES.get(workload, workload)
+    if resolved not in _WORKLOAD_BUILDERS:
+        raise ConfigError(
+            f"unknown circuit id {workload!r}; known workloads: "
+            f"{', '.join(_workload_choices())}")
+    name, circuit = _build_workload(resolved)
+    r1cs, _, _ = circuit.compile()
+    _, vk = setup(r1cs, preset_by_name(bundle.preset_name))
+    print(f"{args.bundle}: preset {bundle.preset_name}, circuit {name}, "
+          f"{len(bundle.public)} public inputs, {len(raw)} bytes")
+    if verify(vk, bundle):
+        print("proof valid")
+        return 0
+    print("proof INVALID", file=sys.stderr)
+    return EXIT_VERIFICATION_ERROR
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -244,25 +308,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from . import obs
     from .nocap import NoCapSimulator
     from .obs.export import write_chrome_trace, write_phases
-    from .snark import Snark, TEST
+    from .snark import TEST, prove, setup, verify
 
     name, circuit = _build_workload(args.workload)
     print(f"{name}: {circuit.num_constraints} constraints")
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    with obs.tracing() as tracer:
-        bundle = snark.prove()
-        ok = snark.verify(bundle)
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, TEST)
+    pool = _make_pool(args)
+    try:
+        with obs.tracing() as tracer:
+            bundle = prove(pk, public, witness, pool=pool, circuit_id=name)
+            ok = verify(vk, bundle)
+    finally:
+        if pool is not None:
+            pool.close()
     if not ok:
         print("proof failed to verify", file=sys.stderr)
         return 1
 
-    padded = 1 << snark.r1cs.shape.log_size
+    padded = 1 << r1cs.shape.log_size
     report = NoCapSimulator().simulate(padded)
 
     write_chrome_trace(args.trace_out, records=tracer.records(),
                        report=report,
                        metadata={"command": "trace", "workload": name,
-                                 "padded_constraints": padded})
+                                 "padded_constraints": padded},
+                       worker_records=tracer.worker_records())
     payload = write_phases(args.phases_out, tracer=tracer, report=report,
                            workload=name)
 
@@ -270,7 +341,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     sim = payload["simulated"]
     print(f"functional prove: {func['total_s'] * 1e3:.1f} ms (measured) | "
           f"NoCap: {sim['total_s'] * 1e3:.3f} ms (simulated, 2^"
-          f"{snark.r1cs.shape.log_size})")
+          f"{r1cs.shape.log_size})")
     print(f"\n  {'family':<10} {'measured':>10} {'meas %':>7} "
           f"{'sim %':>7} {'drift':>7}")
     for fam in obs.FAMILIES:
@@ -335,8 +406,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sensitivity", help="print the Fig. 7 sweep"
                    ).set_defaults(func=_cmd_sensitivity)
 
+    from .snark.params import PRESETS
+
     prove = sub.add_parser("prove", help="prove+verify a demo workload")
     prove.add_argument("workload", choices=_workload_choices())
+    prove.add_argument("--preset", choices=sorted(PRESETS),
+                       default="test-fast",
+                       help="security preset (default test-fast)")
+    prove.add_argument("--out", metavar="PATH", default=None,
+                       help="write the proof as a self-describing envelope "
+                            "(verify it with `repro verify PATH`)")
+    prove.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="fan prover kernels out across N worker "
+                            "processes (proof bytes are identical at any N)")
     prove.add_argument("--trace", action="store_true",
                        help="record prover phase spans and print the tree")
     prove.add_argument("--trace-out", metavar="PATH", default=None,
@@ -345,6 +427,16 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--metrics", action="store_true",
                        help="print kernel counters (hashes, butterflies, ...)")
     prove.set_defaults(func=_cmd_prove)
+
+    ver = sub.add_parser(
+        "verify",
+        help="verify a proof bundle written by `repro prove --out`")
+    ver.add_argument("bundle", metavar="BUNDLE",
+                     help="path to a serialized proof envelope")
+    ver.add_argument("--workload", choices=_workload_choices(), default=None,
+                     help="statement the proof claims (default: the circuit "
+                          "id embedded in the envelope)")
+    ver.set_defaults(func=_cmd_verify)
 
     trace = sub.add_parser(
         "trace",
@@ -358,6 +450,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="BENCH_phases.json",
                        help="per-phase breakdown output path "
                             "(default BENCH_phases.json)")
+    trace.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="fan prover kernels out across N worker "
+                            "processes (workers appear as extra pids in "
+                            "the exported trace)")
     trace.add_argument("--metrics", action="store_true",
                        help="also print kernel counters")
     trace.set_defaults(func=_cmd_trace)

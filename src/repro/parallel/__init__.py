@@ -1,0 +1,13 @@
+"""Process-pool parallelism for the functional prover.
+
+The prover's hot kernels — Merkle column/layer hashing, per-row
+Reed-Solomon NTT encodes, and whole independent proof jobs — are
+embarrassingly parallel (the very structure NoCap's vector FUs exploit).
+:class:`ProverPool` fans them out over worker processes with a serial
+fallback that is bit-identical at any worker count; see
+``docs/API.md`` for usage.
+"""
+
+from .pool import ProverPool
+
+__all__ = ["ProverPool"]

@@ -1,0 +1,87 @@
+"""Worker-side kernel entry points for :class:`~repro.parallel.pool.ProverPool`.
+
+Every function here is a module-level callable (so it pickles by reference)
+that computes one *chunk* of an embarrassingly parallel prover kernel —
+the three hot paths the paper's vector FUs exploit (Sec. IV/V):
+
+* :func:`hash_columns_chunk` — Merkle leaf hashing for a column slice,
+* :func:`hash_layer_chunk` — one contiguous slice of a Merkle layer,
+* :func:`encode_chunk` — per-row Reed-Solomon NTT encodes for a row slice,
+* :func:`prove_job` — one complete independent proof (the
+  :func:`repro.snark.api.prove_many` batch path).
+
+Chunks are pure functions of their arguments, so assembling their results
+in submission order is bit-identical to the serial computation at any
+worker count.  Each kernel opens an observability span; when the parent
+process is tracing, the pool runs the chunk under a worker-local tracer
+and merges the resulting spans and counters back into the main
+:class:`~repro.obs.tracer.Tracer` (the worker appears as an extra pid in
+the exported Chrome trace).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+import numpy as np
+
+from .. import obs
+from ..hashing.fieldhash import DIGEST_BYTES, hash_columns
+
+
+def hash_columns_chunk(matrix: np.ndarray) -> List[bytes]:
+    """Merkle leaf digests for a contiguous slice of codeword columns."""
+    with obs.span("worker.merkle_leaves", "merkle", cols=matrix.shape[1]):
+        return hash_columns(matrix)
+
+
+def hash_layer_chunk(pairs: bytes) -> bytes:
+    """Hash a contiguous run of sibling pairs from one Merkle layer.
+
+    ``pairs`` is a 64-byte-aligned slice of the layer's flat digest
+    buffer; the result is the corresponding slice of the next layer.
+    Byte-identical to the serial loop in
+    :class:`~repro.hashing.merkle.MerkleTree`.
+    """
+    with obs.span("worker.merkle_layer", "merkle",
+                  nodes=len(pairs) // (2 * DIGEST_BYTES)):
+        _sha3 = hashlib.sha3_256
+        out = bytearray(len(pairs) // 2)
+        for i in range(0, len(out), DIGEST_BYTES):
+            out[i : i + DIGEST_BYTES] = _sha3(
+                pairs[2 * i : 2 * i + 2 * DIGEST_BYTES]).digest()
+        return bytes(out)
+
+
+def encode_chunk(code, rows: np.ndarray) -> np.ndarray:
+    """Reed-Solomon-encode a contiguous slice of message rows.
+
+    ``code`` is the (picklable) :class:`~repro.code.base.LinearCode`;
+    per-row encodes are independent, so a row slice encodes exactly as it
+    would inside the full-matrix batched call.
+    """
+    with obs.span("worker.rs_encode", "rs_encode", rows=rows.shape[0]):
+        return code.encode_rows(rows)
+
+
+def prove_job(r1cs, preset, public, witness, seed_seq, circuit_id: str) -> bytes:
+    """Generate one complete proof and return its envelope wire bytes.
+
+    The job-level parallel path of :func:`repro.snark.api.prove_many`:
+    each worker proves one statement end to end with *serial* kernels
+    (no nested pools) and ships the self-describing envelope back, so
+    the parent only pays one deserialization per job and the bytes are
+    exactly what :meth:`ProofBundle.to_bytes` would produce in-process.
+
+    ``seed_seq`` is a :class:`numpy.random.SeedSequence` derived
+    deterministically in the parent, making the zk-mask — the proof's
+    only randomness — independent of the worker count.
+    """
+    from ..snark.api import ProvingKey, prove
+
+    pk = ProvingKey(r1cs=r1cs, preset=preset)
+    bundle = prove(pk, public, witness,
+                   rng=np.random.default_rng(seed_seq),
+                   circuit_id=circuit_id)
+    return bundle.to_bytes()

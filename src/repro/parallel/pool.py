@@ -1,0 +1,226 @@
+"""Process-pool executor for the prover's embarrassingly parallel kernels.
+
+The paper's whole acceleration argument (Sec. IV/V) rests on the
+Spartan+Orion workload being data-parallel: Merkle column hashes are
+independent, per-row RS encodes are independent, and whole proof jobs
+share nothing.  :class:`ProverPool` exploits the same structure in the
+functional layer with a pool of worker *processes* (the kernels are
+CPU-bound Python/numpy, so threads would serialize on the GIL):
+
+* :meth:`hash_columns` / :meth:`hash_layer` — Merkle leaf and layer
+  hashing, chunked by column / node range,
+* :meth:`encode_rows` — per-row Reed-Solomon NTT encodes, chunked by row
+  range,
+* :meth:`run` — the generic ordered fan-out used by
+  :func:`repro.snark.api.prove_many` for independent proof jobs.
+
+Determinism contract: every kernel chunk is a pure function and results
+are assembled in submission order, so outputs — and therefore proof
+bytes — are **bit-identical at any worker count**, including the serial
+fallback taken when ``workers <= 1`` (which executes inline, adding zero
+overhead and zero behavioral difference to single-process operation).
+
+Workers are warmed up at pool start: under the ``fork`` start method the
+child inherits the parent's imported modules and NTT twiddle caches as
+shared read-only pages; under ``spawn`` a pickled initializer imports the
+kernel modules and primes the root tables so the first real task does not
+pay the cold-start cost.
+
+When the parent is tracing (:func:`repro.obs.tracing`), each chunk runs
+under a worker-local tracer; its spans and counter deltas are shipped
+back with the result and merged into the parent tracer, where the worker
+appears as an extra pid in the exported Chrome trace.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import obs
+from ..hashing import fieldhash
+from . import kernels
+
+#: Smallest per-chunk work units below which fan-out overhead (pickling,
+#: IPC) exceeds the kernel time; chunks never shrink below these.
+MIN_ENCODE_ROWS_PER_CHUNK = 4
+MIN_HASH_COLS_PER_CHUNK = 64
+#: Minimum *output* nodes for a Merkle layer to be worth fanning out.
+MIN_LAYER_NODES = 2048
+
+
+def _worker_init(root_sizes: Tuple[int, ...]) -> None:
+    """Warm a worker: import kernel modules and prime NTT root caches.
+
+    Under ``fork`` this is mostly a no-op (state is inherited); under
+    ``spawn`` it front-loads the import and twiddle-table cost so the
+    first real chunk is not an outlier.
+    """
+    from ..ntt import roots
+
+    for n in root_sizes:
+        roots.primitive_root(n)
+        roots.bit_reverse_indices(n)
+
+
+def _call_task(payload):
+    """Run one (fn, args, trace) task, optionally under a local tracer."""
+    fn, args, trace = payload
+    if not trace:
+        return fn(*args), None
+    tracer = obs.start_trace()
+    try:
+        result = fn(*args)
+    finally:
+        obs.stop_trace()
+    counters = tracer.metrics_snapshot.get("counters", {})
+    return result, (os.getpid(), tracer.records(), counters, tracer.start_abs)
+
+
+class ProverPool:
+    """A pool of prover worker processes with a bit-identical serial fallback.
+
+    Use as a context manager (workers are real OS processes)::
+
+        with ProverPool(workers=4) as pool:
+            bundle = prove(pk, public, witness, pool=pool)
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers <= 1`` makes
+    every method execute inline on the calling process — the exact serial
+    code path, byte for byte.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 warm_root_sizes: Tuple[int, ...] = (1 << 10, 1 << 12)):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = max(1, int(workers))
+        self._start_method = start_method
+        self._warm_root_sizes = tuple(warm_root_sizes)
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    @property
+    def is_serial(self) -> bool:
+        return self.workers <= 1
+
+    def _mp_context(self):
+        import multiprocessing as mp
+
+        if self._start_method is not None:
+            return mp.get_context(self._start_method)
+        # fork shares the parent's imported modules and twiddle caches as
+        # read-only pages; fall back to spawn (+ pickled init) elsewhere.
+        methods = mp.get_all_start_methods()
+        return mp.get_context("fork" if "fork" in methods else "spawn")
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp_context(),
+                initializer=_worker_init,
+                initargs=(self._warm_root_sizes,))
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ProverPool":
+        if not self.is_serial:
+            self._ensure_executor()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- generic fan-out ---------------------------------------------------
+    def chunk_ranges(self, n: int, min_per_chunk: int = 1
+                     ) -> List[Tuple[int, int]]:
+        """Split ``range(n)`` into at most ``workers`` contiguous,
+        near-equal ranges of at least ``min_per_chunk`` items."""
+        if n <= 0:
+            return []
+        num = min(self.workers, max(1, n // max(1, min_per_chunk)))
+        base, extra = divmod(n, num)
+        ranges, lo = [], 0
+        for k in range(num):
+            hi = lo + base + (1 if k < extra else 0)
+            ranges.append((lo, hi))
+            lo = hi
+        return ranges
+
+    def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
+        """Execute ``fn(*task)`` for every task, returning results in
+        submission order.
+
+        Serial pools — and single-task calls, where fan-out buys nothing —
+        execute inline so the active tracer and metrics registry see the
+        work directly.  Parallel execution ships each chunk's worker-side
+        spans/counters back and merges them into the active tracer.
+        """
+        if self.is_serial or len(tasks) <= 1:
+            return [fn(*task) for task in tasks]
+        trace = obs.get_tracer() is not None
+        payloads = [(fn, task, trace) for task in tasks]
+        outs = list(self._ensure_executor().map(_call_task, payloads))
+        tracer = obs.get_tracer()
+        results = []
+        for result, meta in outs:
+            if meta is not None and tracer is not None:
+                worker_pid, records, counters, t0_abs = meta
+                tracer.absorb_worker(worker_pid, records, counters,
+                                     start_abs=t0_abs)
+            results.append(result)
+        return results
+
+    # -- kernel-specific entry points --------------------------------------
+    def encode_rows(self, code, matrix: np.ndarray) -> np.ndarray:
+        """Reed-Solomon-encode every matrix row, chunked across workers.
+
+        Falls back to the in-process batched encode when the pool is
+        serial or the matrix is too small to amortize the fan-out.
+        """
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        rows = matrix.shape[0] if matrix.ndim == 2 else 0
+        if self.is_serial or rows < 2 * MIN_ENCODE_ROWS_PER_CHUNK:
+            return code.encode_rows(matrix)
+        ranges = self.chunk_ranges(rows, MIN_ENCODE_ROWS_PER_CHUNK)
+        parts = self.run(kernels.encode_chunk,
+                         [(code, matrix[lo:hi]) for lo, hi in ranges])
+        return np.vstack(parts)
+
+    def hash_columns(self, matrix: np.ndarray) -> List[bytes]:
+        """Merkle leaf digests of every matrix column, chunked by column."""
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        cols = matrix.shape[1] if matrix.ndim == 2 else 0
+        if self.is_serial or cols < 2 * MIN_HASH_COLS_PER_CHUNK:
+            return fieldhash.hash_columns(matrix)
+        ranges = self.chunk_ranges(cols, MIN_HASH_COLS_PER_CHUNK)
+        parts = self.run(kernels.hash_columns_chunk,
+                         [(np.ascontiguousarray(matrix[:, lo:hi]),)
+                          for lo, hi in ranges])
+        return [d for part in parts for d in part]
+
+    def hash_layer(self, raw: bytes) -> Optional[bytes]:
+        """One Merkle layer combine step, chunked by output-node range.
+
+        Returns ``None`` when the layer is below the fan-out threshold so
+        the caller's serial loop (which also does the metrics accounting)
+        handles it.
+        """
+        out_nodes = len(raw) // (2 * fieldhash.DIGEST_BYTES)
+        if self.is_serial or out_nodes < MIN_LAYER_NODES:
+            return None
+        pair = 2 * fieldhash.DIGEST_BYTES
+        ranges = self.chunk_ranges(out_nodes, MIN_LAYER_NODES // self.workers)
+        parts = self.run(kernels.hash_layer_chunk,
+                         [(raw[lo * pair : hi * pair],) for lo, hi in ranges])
+        return b"".join(parts)

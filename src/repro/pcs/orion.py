@@ -120,29 +120,40 @@ class OrionPCS:
 
     def __init__(self, code: Optional[LinearCode] = None,
                  params: Optional[PCSParams] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 pool=None):
         self.code = code or ReedSolomonCode()
         self.params = params or PCSParams()
         self._rng = rng or np.random.default_rng()
+        #: Optional :class:`~repro.parallel.ProverPool`; when set, the
+        #: commit-side hot kernels (row encodes, column/layer hashing) fan
+        #: out across its workers.  Proof bytes do not depend on it.
+        self.pool = pool
 
     # -- commit ---------------------------------------------------------------
-    def commit(self, table: np.ndarray) -> tuple[OrionCommitment, _ProverState]:
+    def commit(self, table: np.ndarray,
+               pool=None) -> tuple[OrionCommitment, _ProverState]:
+        pool = pool if pool is not None else self.pool
         table = np.asarray(table, dtype=np.uint64)
         n = len(table)
         if n == 0 or n & (n - 1):
             raise ValueError("table length must be a power of two")
         rows = self.params.rows_for(n)
         cols = n // rows
-        with _span("pcs.commit", "other", n=n, rows=rows, cols=cols):
+        workers = getattr(pool, "workers", 1)
+        with _span("pcs.commit", "other", n=n, rows=rows, cols=cols,
+                   workers=workers):
             matrix = table.reshape(rows, cols)
             if self.params.zk_mask:
+                # The mask is drawn on the main process *before* any
+                # fan-out, so randomness never depends on worker count.
                 mask = fv.rand_vector(cols, self._rng).reshape(1, cols)
                 matrix = np.vstack([matrix, mask])
             with _span("rs.encode", "rs_encode",
                        rows=matrix.shape[0], cols=cols):
-                codewords = self.code.encode_rows(matrix)
+                codewords = self.code.encode_rows(matrix, pool=pool)
             with _span("merkle.build", "merkle", leaves=codewords.shape[1]):
-                tree = MerkleTree.from_columns(codewords)
+                tree = MerkleTree.from_columns(codewords, pool=pool)
         commitment = OrionCommitment(
             root=tree.root, table_len=n, num_rows=rows, num_cols=cols)
         return commitment, _ProverState(matrix, codewords, tree,

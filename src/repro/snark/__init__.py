@@ -1,16 +1,41 @@
-"""High-level zk-SNARK API (Spartan IOP + Orion PCS)."""
+"""High-level zk-SNARK API (Spartan IOP + Orion PCS).
 
-from .api import ProofBundle, Snark, prove_and_verify
-from .params import PAPER, TEST, SecurityPreset
+Lifecycle entry points: :func:`setup` -> (:class:`ProvingKey`,
+:class:`VerifyingKey`), :func:`prove` -> :class:`ProofBundle`,
+:func:`verify`; :func:`prove_many` batches independent jobs across a
+:class:`~repro.parallel.ProverPool`.  ``Snark`` / ``prove_and_verify``
+are deprecated shims over the same machinery.
+"""
+
+from .api import (
+    ProofBundle,
+    ProvingKey,
+    Snark,
+    VerifyingKey,
+    prove,
+    prove_and_verify,
+    prove_many,
+    setup,
+    verify,
+)
+from .params import PAPER, PRESETS, TEST, SecurityPreset, preset_by_name
 from .serialize import proof_from_bytes, proof_to_bytes
 
 __all__ = [
     "ProofBundle",
+    "ProvingKey",
+    "VerifyingKey",
+    "setup",
+    "prove",
+    "prove_many",
+    "verify",
     "Snark",
     "prove_and_verify",
     "PAPER",
     "TEST",
+    "PRESETS",
     "SecurityPreset",
+    "preset_by_name",
     "proof_from_bytes",
     "proof_to_bytes",
 ]

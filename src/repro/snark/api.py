@@ -1,24 +1,40 @@
-"""High-level zk-SNARK API: the facade downstream users program against.
+"""High-level zk-SNARK API: explicit keygen / prove / verify lifecycle.
 
-    from repro.snark import Snark
     from repro.r1cs import Circuit
+    from repro.snark import setup, prove, verify, TEST
 
     circuit = Circuit()
     ...build constraints, allocating public inputs and witnesses...
-    snark = Snark.from_circuit(circuit)
-    proof = snark.prove()
-    if not snark.verify(proof):
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset=TEST)
+    bundle = prove(pk, public, witness)
+    if not verify(vk, bundle):
         ...  # reject
 
-``Snark`` binds an R1CS instance to a security preset; the proof object
-serializes to bytes (:mod:`repro.snark.serialize`) so it can be shipped to
-a verifier over the paper's 10 MB/s link.
+The three stages are separate objects so a verifier never constructs a
+prover: :class:`ProvingKey` is what a proving service holds,
+:class:`VerifyingKey` is what a relying party holds, and
+:class:`ProofBundle` is the self-contained artifact that travels between
+them — it serializes to a versioned envelope
+(:meth:`ProofBundle.to_bytes` / :meth:`ProofBundle.from_bytes`, format in
+:mod:`repro.snark.envelope`) carrying the preset id, the public inputs,
+and the proof payload over the paper's 10 MB/s link.
+
+Throughput comes from :mod:`repro.parallel`: pass ``workers=N`` (or a
+long-lived :class:`~repro.parallel.ProverPool`) to :func:`prove` to fan
+the commit-side kernels out across processes, or :func:`prove_many` to
+run independent proof jobs in parallel.  Proof bytes are bit-identical
+at any worker count.
+
+The pre-split :class:`Snark` facade and :func:`prove_and_verify` remain
+as thin deprecation shims.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,26 +49,207 @@ from .params import TEST, SecurityPreset
 
 @dataclass
 class ProofBundle:
-    """A proof plus the public inputs it attests to."""
+    """A proof plus the statement metadata it attests to.
+
+    ``preset_name``/``circuit_id`` make the bundle self-describing on the
+    wire (see :mod:`repro.snark.envelope`); bundles built by hand for the
+    legacy API may leave them empty, in which case :meth:`to_bytes` is
+    unavailable and preset binding is skipped at verification.
+    """
 
     proof: SpartanProof
     public: np.ndarray
+    preset_name: str = ""
+    circuit_id: str = ""
 
     def size_bytes(self) -> int:
         return self.proof.size_bytes() + len(self.public) * 8
 
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned self-describing envelope format."""
+        from .envelope import bundle_to_bytes
+
+        return bundle_to_bytes(self)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProofBundle":
+        """Strictly parse an envelope; raises
+        :class:`~repro.errors.DeserializationError` on malformed input."""
+        from .envelope import bundle_from_bytes
+
+        return bundle_from_bytes(data)
+
+
+@dataclass(frozen=True)
+class ProvingKey:
+    """Everything a prover needs for one R1CS instance: the constraint
+    system plus the protocol parameters.  Hold one per circuit; it is
+    picklable, so :func:`prove_many` can ship it to worker processes."""
+
+    r1cs: R1CS
+    preset: SecurityPreset
+
+    def prover(self, rng: Optional[np.random.Generator] = None,
+               pool=None) -> SpartanProver:
+        """Instantiate the underlying protocol prover (``rng`` feeds the
+        zk-mask; ``pool`` fans out the commit-side kernels)."""
+        return SpartanProver(self.r1cs, self.preset.make_pcs(rng=rng),
+                             self.preset.make_spartan_params(), pool=pool)
+
+
+@dataclass(frozen=True)
+class VerifyingKey:
+    """Everything a relying party needs: the public constraint system and
+    the protocol parameters.  Constructing one never builds a prover."""
+
+    r1cs: R1CS
+    preset: SecurityPreset
+
+    def verifier(self) -> SpartanVerifier:
+        return SpartanVerifier(self.r1cs, self.preset.make_pcs(),
+                               self.preset.make_spartan_params())
+
+
+def setup(r1cs: R1CS, preset: SecurityPreset = TEST
+          ) -> Tuple[ProvingKey, VerifyingKey]:
+    """Key generation: bind an R1CS instance to a security preset.
+
+    This scheme is transparent (hash-based, no trusted setup), so "keys"
+    carry no secrets — the split exists so the prover and verifier roles
+    hold exactly the state they need and nothing more.
+    """
+    if not isinstance(r1cs, R1CS):
+        raise TypeError(f"setup expects an R1CS, got {type(r1cs).__name__} "
+                        "(compile circuits first: r1cs, pub, wit = "
+                        "circuit.compile())")
+    return ProvingKey(r1cs, preset), VerifyingKey(r1cs, preset)
+
+
+def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
+          rng: Optional[np.random.Generator] = None,
+          seed: Optional[int] = None,
+          pool=None, workers: Optional[int] = None,
+          circuit_id: str = "") -> ProofBundle:
+    """Generate a proof that ``witness`` satisfies ``pk.r1cs`` on ``public``.
+
+    Randomness: the zk-mask draws from ``rng`` (or a generator seeded
+    with ``seed``; fresh OS entropy when both are omitted).  Fixing the
+    seed makes proof bytes fully deterministic.
+
+    Parallelism: pass a live :class:`~repro.parallel.ProverPool` as
+    ``pool`` (amortizes worker start-up across calls) or ``workers=N``
+    to spin up a temporary pool for this call.  ``workers<=1`` — the
+    default — is the exact serial path; proof bytes are identical either
+    way.
+    """
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    own_pool = None
+    if pool is None and workers is not None and workers > 1:
+        from ..parallel import ProverPool
+
+        pool = own_pool = ProverPool(workers)
+    try:
+        prover = pk.prover(rng=rng, pool=pool)
+        with _span("snark.prove", "other",
+                   constraints=pk.r1cs.shape.num_constraints,
+                   repetitions=pk.preset.sumcheck_repetitions,
+                   workers=getattr(pool, "workers", 1)):
+            proof = prover.prove(public, witness, Transcript())
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+    return ProofBundle(proof=proof,
+                       public=np.asarray(public, dtype=np.uint64),
+                       preset_name=pk.preset.name,
+                       circuit_id=circuit_id)
+
+
+def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
+               *, workers: Optional[int] = None, pool=None,
+               base_seed: Optional[int] = None,
+               circuit_id: str = "") -> List[ProofBundle]:
+    """Prove a batch of independent ``(public, witness)`` jobs.
+
+    Jobs share nothing, so each runs end to end on one worker process
+    (serial kernels inside — no nested pools); results return in job
+    order.  Each job's zk-mask generator is seeded from a
+    ``SeedSequence(base_seed).spawn`` child derived on the calling
+    process, so the bundle bytes for a fixed ``base_seed`` are identical
+    at any worker count (``workers<=1`` runs the same code inline).
+    Workers ship each bundle back in envelope form, which the caller
+    re-parses — so every batched proof also round-trips the wire format.
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    from ..parallel import ProverPool
+    from ..parallel.kernels import prove_job
+
+    seeds = np.random.SeedSequence(base_seed).spawn(len(jobs))
+    tasks = [(pk.r1cs, pk.preset, np.asarray(pub, dtype=np.uint64),
+              np.asarray(wit, dtype=np.uint64), seed, circuit_id)
+             for (pub, wit), seed in zip(jobs, seeds)]
+    own_pool = None
+    if pool is None:
+        pool = own_pool = ProverPool(workers)
+    try:
+        with _span("snark.prove_many", "other", jobs=len(jobs),
+                   workers=pool.workers):
+            blobs = pool.run(prove_job, tasks)
+    finally:
+        if own_pool is not None:
+            own_pool.close()
+    return [ProofBundle.from_bytes(blob) for blob in blobs]
+
+
+def verify(vk: VerifyingKey, bundle: ProofBundle) -> bool:
+    """Check a proof bundle against its public inputs.
+
+    Total over untrusted input: any malformed bundle — wrong types,
+    broken structure, a preset id that does not match the key, a typed
+    :class:`~repro.errors.ReproError` from a lower layer — is a
+    rejection (``False``), never a crash.
+    """
+    if not isinstance(vk, VerifyingKey) or not isinstance(bundle, ProofBundle):
+        return False
+    if bundle.preset_name and bundle.preset_name != vk.preset.name:
+        return False  # proved under different parameters than this key
+    return _verify_parts(vk, bundle.public, bundle.proof)
+
+
+def _verify_parts(vk: VerifyingKey, public, proof) -> bool:
+    """Boolean verification of raw (public, proof) parts."""
+    try:
+        public = np.asarray(public, dtype=np.uint64)
+    except (TypeError, ValueError, OverflowError):
+        return False
+    try:
+        with _span("snark.verify", "other"):
+            return vk.verifier().verify(public, proof, Transcript())
+    except ReproError:
+        # Typed rejection from a lower layer: the proof is invalid.
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Deprecated pre-lifecycle facade
+# ---------------------------------------------------------------------------
 
 class Snark:
-    """A prover/verifier pair for one R1CS instance."""
+    """Deprecated prover/verifier pair; use :func:`setup` / :func:`prove` /
+    :func:`verify` instead (a verifier should not construct a prover)."""
 
     def __init__(self, r1cs: R1CS, preset: SecurityPreset = TEST,
                  rng: Optional[np.random.Generator] = None):
+        warnings.warn(
+            "Snark is deprecated: use setup(r1cs, preset) -> (pk, vk) with "
+            "prove(pk, ...) / verify(vk, ...) (see docs/API.md)",
+            DeprecationWarning, stacklevel=2)
         self.r1cs = r1cs
         self.preset = preset
-        self._pcs = preset.make_pcs(rng=rng)
-        self._params = preset.make_spartan_params()
-        self._prover = SpartanProver(r1cs, self._pcs, self._params)
-        self._verifier = SpartanVerifier(r1cs, self._pcs, self._params)
+        self._pk, self._vk = setup(r1cs, preset)
+        self._rng = rng if rng is not None else np.random.default_rng()
         self._public: Optional[np.ndarray] = None
         self._witness: Optional[np.ndarray] = None
 
@@ -74,42 +271,27 @@ class Snark:
         witness = witness if witness is not None else self._witness
         if public is None or witness is None:
             raise ValueError("no assignment: pass public and witness explicitly")
-        with _span("snark.prove", "other",
-                   constraints=self.r1cs.shape.num_constraints,
-                   repetitions=self._params.repetitions):
-            proof = self._prover.prove(public, witness, Transcript())
-        return ProofBundle(proof=proof, public=np.asarray(public, dtype=np.uint64))
+        return prove(self._pk, public, witness, rng=self._rng)
 
     def verify(self, bundle: ProofBundle) -> bool:
-        """Check a proof against its public inputs.
-
-        Total over untrusted input: any malformed bundle — wrong types,
-        broken structure, a typed :class:`~repro.errors.ReproError` from
-        a lower layer — is a rejection (``False``), never a crash.
-        """
         if not isinstance(bundle, ProofBundle):
             return False
         return self.verify_raw(bundle.public, bundle.proof)
 
     def verify_raw(self, public: np.ndarray, proof: SpartanProof) -> bool:
-        try:
-            public = np.asarray(public, dtype=np.uint64)
-        except (TypeError, ValueError, OverflowError):
-            return False
-        try:
-            with _span("snark.verify", "other"):
-                return self._verifier.verify(public, proof, Transcript())
-        except ReproError:
-            # Typed rejection from a lower layer: the proof is invalid.
-            return False
+        return _verify_parts(self._vk, public, proof)
 
 
 def prove_and_verify(circuit: Circuit,
                      preset: SecurityPreset = TEST) -> ProofBundle:
-    """One-shot helper used by examples and tests: prove then self-check."""
-    snark = Snark.from_circuit(circuit, preset)
-    bundle = snark.prove()
-    if not snark.verify(bundle):
+    """Deprecated one-shot helper: prove then self-check."""
+    warnings.warn(
+        "prove_and_verify is deprecated: use setup()/prove()/verify() "
+        "(see docs/API.md)", DeprecationWarning, stacklevel=2)
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs, preset)
+    bundle = prove(pk, public, witness)
+    if not verify(vk, bundle):
         raise VerificationError(
             "freshly generated proof failed verification")
     return bundle

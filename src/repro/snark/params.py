@@ -60,3 +60,22 @@ TEST = SecurityPreset(
     proximity_vectors=2,
     multiset_hash_instances=4,
 )
+
+#: Registry of named presets — the ids a proof envelope may carry.
+PRESETS = {p.name: p for p in (PAPER, TEST)}
+
+
+def preset_by_name(name: str) -> SecurityPreset:
+    """Resolve a preset id (as carried in a proof envelope) to its preset.
+
+    Raises :class:`~repro.errors.ConfigError` for unknown names, so a CLI
+    caller gets the config exit code rather than a KeyError.
+    """
+    try:
+        return PRESETS[name]
+    except KeyError:
+        from ..errors import ConfigError
+
+        raise ConfigError(
+            f"unknown security preset {name!r}; "
+            f"known presets: {', '.join(sorted(PRESETS))}") from None

@@ -91,10 +91,13 @@ class SpartanProver:
     """Generates Spartan+Orion proofs for a fixed R1CS instance."""
 
     def __init__(self, r1cs: R1CS, pcs: Optional[OrionPCS] = None,
-                 params: Optional[SpartanParams] = None):
+                 params: Optional[SpartanParams] = None, pool=None):
         self.r1cs = r1cs
         self.pcs = pcs or OrionPCS()
         self.params = params or SpartanParams()
+        #: Optional :class:`~repro.parallel.ProverPool` for the commit-side
+        #: kernels (RS encodes, Merkle hashing).  Never affects proof bytes.
+        self.pool = pool
 
     def prove(self, public: np.ndarray, witness: np.ndarray,
               transcript: Optional[Transcript] = None) -> SpartanProof:
@@ -113,7 +116,7 @@ class SpartanProver:
         pub_half, wit_half = r1cs.split_z(z)
 
         tr.absorb_array(b"spartan/public", np.asarray(public, dtype=np.uint64))
-        commitment, state = self.pcs.commit(wit_half)
+        commitment, state = self.pcs.commit(wit_half, pool=self.pool)
         tr.absorb_digest(b"spartan/witness-commitment", commitment.root)
         reps: List[RepetitionProof] = []
         for rep in range(self.params.repetitions):

@@ -34,6 +34,21 @@ class TestParser:
         assert args.phases_out == "BENCH_phases.json"
         assert not args.metrics
 
+    def test_prove_new_flags(self):
+        args = build_parser().parse_args(
+            ["prove", "litmus", "--out", "p.bin", "--workers", "4",
+             "--preset", "paper-128bit"])
+        assert args.out == "p.bin"
+        assert args.workers == 4
+        assert args.preset == "paper-128bit"
+        assert build_parser().parse_args(["prove", "litmus"]).out is None
+
+    def test_verify_parser(self):
+        args = build_parser().parse_args(["verify", "p.bin"])
+        assert args.bundle == "p.bin" and args.workload is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify"])
+
 
 class TestCommands:
     def test_simulate(self, capsys):
@@ -116,6 +131,43 @@ class TestCommands:
         assert "snark.prove" in out
         assert "merkle.hashes" in out
         assert validate_chrome_trace(json.loads(path.read_text())) == []
+
+    def test_prove_out_verify_roundtrip(self, tmp_path, capsys):
+        from repro.cli import EXIT_VERIFICATION_ERROR
+
+        bundle = tmp_path / "litmus.proof"
+        assert main(["prove", "litmus", "--out", str(bundle)]) == 0
+        assert "written to" in capsys.readouterr().out
+        assert main(["verify", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "proof valid" in out and "test-fast" in out
+        # The envelope names its circuit; a contradictory claim must fail.
+        assert main(["verify", str(bundle), "--workload", "aes"]
+                    ) == EXIT_VERIFICATION_ERROR
+
+    def test_verify_exit_codes(self, tmp_path, capsys):
+        from repro.cli import (
+            EXIT_DESERIALIZATION_ERROR,
+            EXIT_VERIFICATION_ERROR,
+        )
+
+        garbage = tmp_path / "garbage.proof"
+        garbage.write_bytes(b"not a proof envelope")
+        assert main(["verify", str(garbage)]) == EXIT_DESERIALIZATION_ERROR
+        assert "DeserializationError" in capsys.readouterr().err
+
+        bundle = tmp_path / "litmus.proof"
+        assert main(["prove", "litmus", "--out", str(bundle)]) == 0
+        raw = bytearray(bundle.read_bytes())
+        raw[-40] ^= 1  # corrupt the proof payload, keep the framing
+        tampered = tmp_path / "tampered.proof"
+        tampered.write_bytes(bytes(raw))
+        code = main(["verify", str(tampered)])
+        assert code in (EXIT_DESERIALIZATION_ERROR, EXIT_VERIFICATION_ERROR)
+
+    def test_prove_workers_flag_runs(self, capsys):
+        assert main(["prove", "litmus", "--workers", "2"]) == 0
+        assert "valid: True" in capsys.readouterr().out
 
     def test_trace_command(self, tmp_path, capsys):
         import json

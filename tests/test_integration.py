@@ -6,7 +6,16 @@ import numpy as np
 import pytest
 
 from repro.opcount import OpCount
-from repro.snark import PAPER, TEST, Snark, proof_from_bytes, proof_to_bytes
+from repro.snark import (
+    PAPER,
+    TEST,
+    ProofBundle,
+    proof_from_bytes,
+    proof_to_bytes,
+    prove,
+    setup,
+    verify,
+)
 from repro.workloads import PAPER_WORKLOADS
 
 
@@ -17,12 +26,14 @@ class TestAllWorkloadsProve:
     def test_prove_verify_serialize(self, name):
         spec = next(w for w in PAPER_WORKLOADS if w.name == name)
         circuit = spec.build_demo()
-        snark = Snark.from_circuit(circuit, preset=TEST,
-                                   rng=np.random.default_rng(1))
-        bundle = snark.prove()
-        assert snark.verify(bundle), name
+        r1cs, public, witness = circuit.compile()
+        pk, vk = setup(r1cs, TEST)
+        bundle = prove(pk, public, witness, rng=np.random.default_rng(1),
+                       circuit_id=name.lower())
+        assert verify(vk, bundle), name
         restored = proof_from_bytes(proof_to_bytes(bundle.proof))
-        assert snark.verify_raw(bundle.public, restored), name
+        assert verify(vk, ProofBundle(proof=restored,
+                                      public=bundle.public)), name
 
 
 class TestPaperPreset:
@@ -35,10 +46,10 @@ class TestPaperPreset:
         out = c.public(35)
         x = c.witness(3)
         c.assert_equal(c.mul(c.mul(x, x), x) + x + 5, out)
-        snark = Snark.from_circuit(c, preset=PAPER,
-                                   rng=np.random.default_rng(2))
-        bundle = snark.prove()
-        assert snark.verify(bundle)
+        r1cs, public, witness = c.compile()
+        pk, vk = setup(r1cs, PAPER)
+        bundle = prove(pk, public, witness, rng=np.random.default_rng(2))
+        assert verify(vk, bundle)
         assert len(bundle.proof.repetitions) == 3
 
 

@@ -227,18 +227,17 @@ class TestTaskRecord:
 class TestDeterminism:
     def test_tracing_does_not_perturb_proof_bytes(self):
         from repro.r1cs import Circuit
-        from repro.snark import Snark, TEST, proof_to_bytes
+        from repro.snark import TEST, proof_to_bytes, prove, setup
 
-        def build():
-            circuit = Circuit()
-            out = circuit.public(35)
-            x = circuit.witness(3)
-            circuit.assert_equal(
-                circuit.mul(circuit.mul(x, x), x) + x + 5, out)
-            return Snark.from_circuit(circuit, preset=TEST,
-                                      rng=np.random.default_rng(7))
+        circuit = Circuit()
+        out = circuit.public(35)
+        x = circuit.witness(3)
+        circuit.assert_equal(
+            circuit.mul(circuit.mul(x, x), x) + x + 5, out)
+        r1cs, public, witness = circuit.compile()
+        pk, _ = setup(r1cs, TEST)
 
-        plain = proof_to_bytes(build().prove().proof)
+        plain = proof_to_bytes(prove(pk, public, witness, seed=7).proof)
         with obs.tracing():
-            traced = proof_to_bytes(build().prove().proof)
+            traced = proof_to_bytes(prove(pk, public, witness, seed=7).proof)
         assert plain == traced

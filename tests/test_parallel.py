@@ -1,0 +1,165 @@
+"""Tests for the parallel proving engine (:mod:`repro.parallel`).
+
+The load-bearing property is the determinism contract: every pooled
+kernel and the batch prover must produce bytes **identical** to the
+serial path at any worker count.  Worker counts are kept small (2) so the
+suite stays fast on small CI machines; the contract is count-independent
+by construction (pure chunks, submission-order assembly).
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.code.reed_solomon import ReedSolomonCode
+from repro.hashing import fieldhash
+from repro.hashing.merkle import MerkleTree
+from repro.parallel import ProverPool
+from repro.snark import TEST, prove, prove_many, setup, verify
+from repro.workloads import synthetic_r1cs
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return synthetic_r1cs(log_size=10, seed=9)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProverPool(workers=2) as p:
+        yield p
+
+
+class TestChunking:
+    def test_ranges_cover_exactly(self):
+        pool = ProverPool(workers=4)
+        for n in (1, 3, 7, 64, 1000):
+            ranges = pool.chunk_ranges(n)
+            assert ranges[0][0] == 0 and ranges[-1][1] == n
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+
+    def test_min_per_chunk_limits_fanout(self):
+        pool = ProverPool(workers=8)
+        assert len(pool.chunk_ranges(10, min_per_chunk=5)) == 2
+        assert len(pool.chunk_ranges(4, min_per_chunk=8)) == 1
+
+    def test_empty(self):
+        assert ProverPool(workers=4).chunk_ranges(0) == []
+
+
+class TestSerialFallback:
+    def test_serial_pool_never_spawns(self):
+        pool = ProverPool(workers=1)
+        assert pool.is_serial
+        assert pool.run(lambda a, b: a + b, [(1, 2), (3, 4)]) == [3, 7]
+        assert pool._executor is None
+
+    def test_workers_default_is_cpu_count(self):
+        import os
+
+        assert ProverPool().workers == (os.cpu_count() or 1)
+
+
+class TestKernelEquivalence:
+    def test_encode_rows_matches_serial(self, pool):
+        code = ReedSolomonCode(blowup=4, num_queries=8)
+        rng = np.random.default_rng(5)
+        matrix = rng.integers(0, 1 << 32, size=(16, 64), dtype=np.uint64)
+        assert np.array_equal(code.encode_rows(matrix, pool=pool),
+                              code.encode_rows(matrix))
+
+    def test_encode_rows_small_matrix_stays_inline(self, pool):
+        code = ReedSolomonCode(blowup=4, num_queries=8)
+        matrix = np.arange(2 * 8, dtype=np.uint64).reshape(2, 8)
+        assert np.array_equal(code.encode_rows(matrix, pool=pool),
+                              code.encode_rows(matrix))
+
+    def test_hash_columns_matches_serial(self, pool):
+        rng = np.random.default_rng(6)
+        matrix = rng.integers(0, 1 << 32, size=(4, 400), dtype=np.uint64)
+        assert pool.hash_columns(matrix) == fieldhash.hash_columns(matrix)
+
+    def test_merkle_tree_matches_serial(self, pool):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 1 << 32, size=(4, 256), dtype=np.uint64)
+        assert (MerkleTree.from_columns(matrix, pool=pool).root
+                == MerkleTree.from_columns(matrix).root)
+
+    def test_hash_layer_chunk_matches_serial_loop(self):
+        from repro.parallel.kernels import hash_layer_chunk
+
+        rng = np.random.default_rng(8)
+        digests = [bytes(rng.integers(0, 256, 32, dtype=np.uint8))
+                   for _ in range(8)]
+        raw = b"".join(digests)
+        expected = b"".join(
+            fieldhash.hash_pair(digests[i], digests[i + 1])
+            for i in range(0, 8, 2))
+        assert hash_layer_chunk(raw) == expected
+
+
+class TestProofDeterminism:
+    def test_pooled_prove_bytes_identical(self, instance, pool):
+        r1cs, public, witness = instance
+        pk, vk = setup(r1cs, TEST)
+        serial = prove(pk, public, witness, seed=21)
+        pooled = prove(pk, public, witness, seed=21, pool=pool)
+        assert pooled.to_bytes() == serial.to_bytes()
+        assert verify(vk, pooled)
+
+    def test_prove_many_worker_count_invariant(self, instance, pool):
+        r1cs, public, witness = instance
+        pk, vk = setup(r1cs, TEST)
+        jobs = [(public, witness)] * 3
+        ser = prove_many(pk, jobs, workers=1, base_seed=33, circuit_id="syn")
+        par = prove_many(pk, jobs, pool=pool, base_seed=33, circuit_id="syn")
+        assert [b.to_bytes() for b in ser] == [b.to_bytes() for b in par]
+        assert all(verify(vk, b) for b in par)
+        assert all(b.circuit_id == "syn" for b in par)
+
+    def test_prove_many_jobs_get_distinct_masks(self, instance):
+        r1cs, public, witness = instance
+        pk, _ = setup(r1cs, TEST)
+        a, b = prove_many(pk, [(public, witness)] * 2, workers=1, base_seed=1)
+        assert a.proof.witness_commitment.root != b.proof.witness_commitment.root
+
+    def test_prove_many_empty(self, instance):
+        r1cs, _, _ = instance
+        pk, _ = setup(r1cs, TEST)
+        assert prove_many(pk, [], workers=2) == []
+
+
+class TestWorkerTraceMerge:
+    def test_worker_spans_and_counters_merge(self, instance, pool):
+        r1cs, public, witness = instance
+        pk, _ = setup(r1cs, TEST)
+        with obs.tracing() as tracer:
+            prove(pk, public, witness, seed=2, pool=pool)
+        workers = tracer.worker_records()
+        assert workers, "pooled prove produced no worker records"
+        for records in workers.values():
+            assert all(rec.name.startswith("worker.") for rec in records)
+            assert all(rec.wall_s >= 0 for rec in records)
+        # NTT butterflies run inside the workers; their counter deltas
+        # must land in the parent registry.
+        counters = tracer.metrics_snapshot.get("counters", {})
+        assert counters.get("ntt.butterflies", 0) > 0
+
+    def test_workers_render_as_extra_pids(self, instance, pool):
+        from repro.obs.export import WORKER_PID_BASE, chrome_trace
+
+        r1cs, public, witness = instance
+        pk, _ = setup(r1cs, TEST)
+        with obs.tracing() as tracer:
+            prove(pk, public, witness, seed=2, pool=pool)
+        doc = chrome_trace(tracer.records(),
+                           worker_records=tracer.worker_records())
+        pids = {ev["pid"] for ev in doc["traceEvents"]}
+        assert any(p >= WORKER_PID_BASE for p in pids)
+
+    def test_untraced_pooled_run_merges_nothing(self, instance, pool):
+        r1cs, public, witness = instance
+        pk, vk = setup(r1cs, TEST)
+        bundle = prove(pk, public, witness, seed=2, pool=pool)
+        assert verify(vk, bundle)  # no tracer active: plain results only

@@ -33,7 +33,15 @@ from repro.nocap.config import NoCapConfig
 from repro.nocap.isa import Instruction, Opcode, Program, vadd, vload, vntt
 from repro.nocap.scheduler import schedule_program
 from repro.r1cs import Circuit
-from repro.snark import Snark, TEST, proof_from_bytes, proof_to_bytes
+from repro.snark import (
+    TEST,
+    ProofBundle,
+    proof_from_bytes,
+    proof_to_bytes,
+    prove,
+    setup,
+    verify,
+)
 
 
 def _cubic(x=3, out=35):
@@ -52,12 +60,18 @@ def _square(x=5, out=25):
     return c
 
 
+def _vr(vk, public, proof) -> bool:
+    """Raw-parts verification via the lifecycle API."""
+    return verify(vk, ProofBundle(proof=proof, public=public))
+
+
 @pytest.fixture(scope="module")
 def baseline():
-    """One honest (snark, bundle, wire bytes) triple, proved once."""
-    snark = Snark.from_circuit(_cubic(), preset=TEST)
-    bundle = snark.prove()
-    return snark, bundle, proof_to_bytes(bundle.proof)
+    """One honest (vk, bundle, wire bytes) triple, proved once."""
+    r1cs, public, witness = _cubic().compile()
+    pk, vk = setup(r1cs, TEST)
+    bundle = prove(pk, public, witness)
+    return vk, bundle, proof_to_bytes(bundle.proof)
 
 
 class TestErrorTaxonomy:
@@ -86,7 +100,7 @@ class TestStrictParserProperties:
     def test_single_byte_mutation_rejected(self, baseline, data):
         """Any single-byte change is rejected via False or a typed
         ReproError — never an IndexError, struct.error or numpy crash."""
-        snark, bundle, wire = baseline
+        vk, bundle, wire = baseline
         pos = data.draw(st.integers(0, len(wire) - 1))
         delta = data.draw(st.integers(1, 255))
         buf = bytearray(wire)
@@ -95,7 +109,7 @@ class TestStrictParserProperties:
             proof = proof_from_bytes(bytes(buf))
         except ReproError:
             return
-        assert snark.verify_raw(bundle.public, proof) is False
+        assert _vr(vk, bundle.public, proof) is False
 
     @given(st.binary(max_size=300))
     def test_garbage_never_crashes(self, blob):
@@ -103,10 +117,10 @@ class TestStrictParserProperties:
             proof_from_bytes(blob)
 
     def test_round_trip_is_stable(self, baseline):
-        snark, bundle, wire = baseline
+        vk, bundle, wire = baseline
         proof = proof_from_bytes(wire)
         assert proof_to_bytes(proof) == wire
-        assert snark.verify_raw(bundle.public, proof)
+        assert _vr(vk, bundle.public, proof)
 
     def test_truncation_every_prefix(self, baseline):
         _, _, wire = baseline
@@ -123,20 +137,22 @@ class TestStrictParserProperties:
 class TestDomainSeparation:
     def test_cross_circuit_proof_rejected(self, baseline):
         """An honest proof of x^2==25 must not verify as x^3+x+5==35."""
-        snark_a, bundle_a, _ = baseline
-        snark_b = Snark.from_circuit(_square(), preset=TEST)
-        bundle_b = snark_b.prove()
-        assert snark_b.verify(bundle_b)  # sanity
-        assert not snark_a.verify_raw(bundle_a.public, bundle_b.proof)
-        assert not snark_b.verify_raw(bundle_b.public, bundle_a.proof)
+        vk_a, bundle_a, _ = baseline
+        r1cs_b, pub_b, wit_b = _square().compile()
+        pk_b, vk_b = setup(r1cs_b, TEST)
+        bundle_b = prove(pk_b, pub_b, wit_b)
+        assert verify(vk_b, bundle_b)  # sanity
+        assert not _vr(vk_a, bundle_a.public, bundle_b.proof)
+        assert not _vr(vk_b, bundle_b.public, bundle_a.proof)
 
     def test_spliced_sections_rejected(self, baseline):
         """Grafting commitment/sumcheck/opening sections between proofs
         of different statements must never verify: the Fiat-Shamir
         transcript binds every section to the statement."""
-        snark_a, bundle_a, wire_a = baseline
-        snark_b = Snark.from_circuit(_square(), preset=TEST)
-        bundle_b = snark_b.prove()
+        vk_a, bundle_a, wire_a = baseline
+        r1cs_b, pub_b, wit_b = _square().compile()
+        pk_b, _ = setup(r1cs_b, TEST)
+        bundle_b = prove(pk_b, pub_b, wit_b)
         wire_b = proof_to_bytes(bundle_b.proof)
         rng = random.Random(7)
         mutants = splice_mutants(wire_a, wire_b, rng)
@@ -146,18 +162,18 @@ class TestDomainSeparation:
                 proof = proof_from_bytes(m.data)
             except ReproError:
                 continue
-            assert not snark_a.verify_raw(bundle_a.public, proof), m.mutator
+            assert not _vr(vk_a, bundle_a.public, proof), m.mutator
 
     def test_wrong_public_inputs_rejected(self, baseline):
-        snark, bundle, _ = baseline
+        vk, bundle, _ = baseline
         bad = np.array(bundle.public, copy=True)
         bad[-1] = (int(bad[-1]) + 1) % (2**64 - 2**32 + 1)
-        assert not snark.verify_raw(bad, bundle.proof)
+        assert not _vr(vk, bad, bundle.proof)
 
 
 class TestMutators:
     def test_structured_mutants_all_rejected(self, baseline):
-        snark, bundle, wire = baseline
+        vk, bundle, wire = baseline
         rng = random.Random(11)
         mutants = structured_mutants(wire, rng)
         assert len(mutants) >= 15  # every mutator class fired
@@ -167,17 +183,17 @@ class TestMutators:
                 proof = proof_from_bytes(m.data)
             except ReproError:
                 continue
-            assert not snark.verify_raw(bundle.public, proof), m.mutator
+            assert not _vr(vk, bundle.public, proof), m.mutator
 
     def test_random_mutants_never_crash(self, baseline):
-        snark, bundle, wire = baseline
+        vk, bundle, wire = baseline
         rng = random.Random(13)
         for m in random_mutants(wire, rng, 40):
             try:
                 proof = proof_from_bytes(m.data)
             except ReproError:
                 continue
-            assert not snark.verify_raw(bundle.public, proof)
+            assert not _vr(vk, bundle.public, proof)
 
 
 class TestNoCapValidation:
@@ -249,19 +265,23 @@ class TestOptimizedMode:
             "import sys\n"
             "if __debug__: sys.exit(3)  # not actually running under -O\n"
             "from repro.r1cs import Circuit\n"
-            "from repro.snark import Snark, TEST, proof_from_bytes, "
-            "proof_to_bytes\n"
+            "from repro.snark import (TEST, ProofBundle, proof_from_bytes, "
+            "proof_to_bytes, prove, setup, verify)\n"
             "from repro.errors import ReproError\n"
             "c = Circuit(); o = c.public(35); w = c.witness(3)\n"
             "c.assert_equal(c.mul(c.mul(w, w), w) + w + 5, o)\n"
-            "s = Snark.from_circuit(c, preset=TEST)\n"
-            "b = s.prove()\n"
+            "r1cs, pub, wit = c.compile()\n"
+            "pk, vk = setup(r1cs, TEST)\n"
+            "b = prove(pk, pub, wit)\n"
             "wire = proof_to_bytes(b.proof)\n"
-            "if not s.verify_raw(b.public, proof_from_bytes(wire)):\n"
+            "restored = ProofBundle(proof=proof_from_bytes(wire), "
+            "public=b.public)\n"
+            "if not verify(vk, restored):\n"
             "    sys.exit(1)  # honest proof rejected\n"
             "bad = bytearray(wire); bad[70] ^= 1\n"
             "try:\n"
-            "    ok = s.verify_raw(b.public, proof_from_bytes(bytes(bad)))\n"
+            "    ok = verify(vk, ProofBundle(proof=proof_from_bytes("
+            "bytes(bad)), public=b.public))\n"
             "except ReproError:\n"
             "    ok = False\n"
             "sys.exit(0 if not ok else 2)  # 2: mutant accepted\n"

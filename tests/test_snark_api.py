@@ -1,17 +1,26 @@
-"""Tests for the high-level SNARK facade and proof serialization."""
+"""Tests for the keygen/prove/verify lifecycle, the proof envelope, and
+the deprecated ``Snark`` facade shims."""
 
 import numpy as np
 import pytest
 
+from repro.errors import ConfigError, DeserializationError
 from repro.r1cs import Circuit
 from repro.snark import (
     PAPER,
+    PRESETS,
     TEST,
     ProofBundle,
+    ProvingKey,
     Snark,
+    VerifyingKey,
+    preset_by_name,
     proof_from_bytes,
     proof_to_bytes,
+    prove,
     prove_and_verify,
+    setup,
+    verify,
 )
 
 
@@ -23,36 +32,78 @@ def _circuit(x=3, out=35):
     return c
 
 
-class TestSnarkFacade:
-    def test_prove_and_verify(self):
-        bundle = prove_and_verify(_circuit())
-        assert bundle.size_bytes() > 0
+@pytest.fixture(scope="module")
+def compiled():
+    return _circuit().compile()
 
-    def test_from_circuit_captures_assignment(self):
-        snark = Snark.from_circuit(_circuit())
-        bundle = snark.prove()
-        assert snark.verify(bundle)
 
-    def test_explicit_assignment(self):
-        circuit = _circuit()
-        r1cs, pub, wit = circuit.compile()
-        snark = Snark(r1cs, TEST)
-        bundle = snark.prove(pub, wit)
-        assert snark.verify(bundle)
+@pytest.fixture(scope="module")
+def keys(compiled):
+    r1cs, _, _ = compiled
+    return setup(r1cs, TEST)
 
-    def test_missing_assignment_raises(self):
-        circuit = _circuit()
-        r1cs, _, _ = circuit.compile()
-        snark = Snark(r1cs, TEST)
-        with pytest.raises(ValueError):
-            snark.prove()
 
-    def test_wrong_public_rejected(self):
-        snark = Snark.from_circuit(_circuit())
-        bundle = snark.prove()
-        bad = ProofBundle(proof=bundle.proof, public=bundle.public.copy())
+@pytest.fixture(scope="module")
+def bundle(compiled, keys):
+    _, public, witness = compiled
+    pk, _ = keys
+    return prove(pk, public, witness, seed=11, circuit_id="cube")
+
+
+class TestLifecycle:
+    def test_setup_returns_key_pair(self, compiled):
+        r1cs, _, _ = compiled
+        pk, vk = setup(r1cs, TEST)
+        assert isinstance(pk, ProvingKey) and isinstance(vk, VerifyingKey)
+        assert pk.preset is TEST and vk.preset is TEST
+
+    def test_setup_rejects_uncompiled_circuit(self):
+        with pytest.raises(TypeError):
+            setup(_circuit(), TEST)
+
+    @pytest.mark.parametrize("preset", [TEST, PAPER],
+                             ids=lambda p: p.name)
+    def test_roundtrip_across_presets(self, compiled, preset):
+        r1cs, public, witness = compiled
+        pk, vk = setup(r1cs, preset)
+        b = prove(pk, public, witness, seed=1)
+        assert b.preset_name == preset.name
+        assert verify(vk, b)
+
+    def test_verify(self, keys, bundle):
+        _, vk = keys
+        assert verify(vk, bundle)
+
+    def test_wrong_public_rejected(self, keys, bundle):
+        _, vk = keys
+        bad = ProofBundle(proof=bundle.proof, public=bundle.public.copy(),
+                          preset_name=bundle.preset_name)
         bad.public[1] = 36
-        assert not snark.verify(bad)
+        assert not verify(vk, bad)
+
+    def test_preset_mismatch_rejected(self, compiled, bundle):
+        r1cs, _, _ = compiled
+        _, vk_paper = setup(r1cs, PAPER)
+        assert not verify(vk_paper, bundle)
+
+    def test_verify_total_on_junk(self, keys):
+        _, vk = keys
+        assert not verify(vk, None)
+        assert not verify(vk, object())
+        assert not verify(None, ProofBundle(proof=None, public=np.zeros(1)))
+
+    def test_seeded_prove_is_deterministic(self, compiled, keys, bundle):
+        _, public, witness = compiled
+        pk, _ = keys
+        again = prove(pk, public, witness, seed=11, circuit_id="cube")
+        assert again.to_bytes() == bundle.to_bytes()
+
+    def test_distinct_seeds_distinct_proofs(self, compiled, keys):
+        r1cs, public, witness = compiled
+        pk, _ = keys
+        a = prove(pk, public, witness, seed=1)
+        b = prove(pk, public, witness, seed=2)
+        assert proof_to_bytes(a.proof) != proof_to_bytes(b.proof)
 
     def test_presets(self):
         assert PAPER.sumcheck_repetitions == 3
@@ -69,49 +120,98 @@ class TestSnarkFacade:
         assert pcs.code.num_queries == 189
         assert PAPER.make_spartan_params().repetitions == 3
 
+    def test_preset_registry(self):
+        assert set(PRESETS) == {"paper-128bit", "test-fast"}
+        assert preset_by_name("test-fast") is TEST
+        with pytest.raises(ConfigError):
+            preset_by_name("no-such-preset")
+
+
+class TestEnvelope:
+    def test_roundtrip(self, keys, bundle):
+        _, vk = keys
+        restored = ProofBundle.from_bytes(bundle.to_bytes())
+        assert restored.preset_name == TEST.name
+        assert restored.circuit_id == "cube"
+        assert np.array_equal(restored.public, bundle.public)
+        assert verify(vk, restored)
+
+    def test_roundtrip_stable(self, bundle):
+        data = bundle.to_bytes()
+        assert ProofBundle.from_bytes(data).to_bytes() == data
+
+    def test_bundle_without_preset_cannot_serialize(self, bundle):
+        anon = ProofBundle(proof=bundle.proof, public=bundle.public)
+        with pytest.raises(ValueError):
+            anon.to_bytes()
+
+    def test_bad_magic(self, bundle):
+        with pytest.raises(DeserializationError):
+            ProofBundle.from_bytes(b"XXXX" + bundle.to_bytes()[4:])
+
+    def test_unknown_version(self, bundle):
+        data = bytearray(bundle.to_bytes())
+        data[4] = 99
+        with pytest.raises(DeserializationError):
+            ProofBundle.from_bytes(bytes(data))
+
+    def test_unknown_preset_id(self, compiled, keys):
+        r1cs, public, witness = compiled
+        pk, _ = keys
+        b = prove(pk, public, witness, seed=3)
+        b.preset_name = "test-fast"[::-1]  # right length, wrong name
+        with pytest.raises(DeserializationError):
+            ProofBundle.from_bytes(b.to_bytes())
+
+    def test_truncated(self, bundle):
+        data = bundle.to_bytes()
+        for cut in (3, 5, len(data) // 2, len(data) - 1):
+            with pytest.raises(DeserializationError):
+                ProofBundle.from_bytes(data[:cut])
+
+    def test_trailing_garbage(self, bundle):
+        with pytest.raises(DeserializationError):
+            ProofBundle.from_bytes(bundle.to_bytes() + b"\x00")
+
+    def test_not_bytes(self):
+        with pytest.raises(DeserializationError):
+            ProofBundle.from_bytes("not bytes")
+
+    def test_fuzzed_envelopes_never_crash(self, keys, bundle):
+        """Seeded byte-level mutants either fail to parse with the typed
+        error or parse and fail verification — nothing else escapes."""
+        import random
+
+        from repro.fuzz.mutate import random_mutants
+
+        _, vk = keys
+        data = bundle.to_bytes()
+        rng = random.Random(0xE17)
+        accepted = 0
+        for mutant in random_mutants(data, rng, count=120):
+            try:
+                parsed = ProofBundle.from_bytes(mutant.data)
+            except DeserializationError:
+                continue
+            accepted += verify(vk, parsed)
+        assert accepted == 0
+
 
 class TestSerialization:
-    def test_roundtrip(self):
-        snark = Snark.from_circuit(_circuit())
-        bundle = snark.prove()
+    def test_roundtrip(self, keys, bundle):
+        _, vk = keys
         data = proof_to_bytes(bundle.proof)
         restored = proof_from_bytes(data)
-        assert snark.verify_raw(bundle.public, restored)
+        assert verify(vk, ProofBundle(proof=restored, public=bundle.public))
 
-    def test_roundtrip_stable(self):
-        snark = Snark.from_circuit(_circuit())
-        bundle = snark.prove()
+    def test_roundtrip_stable(self, bundle):
         data = proof_to_bytes(bundle.proof)
         assert proof_to_bytes(proof_from_bytes(data)) == data
 
-    def test_bad_magic(self):
-        with pytest.raises(ValueError):
-            proof_from_bytes(b"XXXX" + b"\x00" * 100)
-
-    def test_bad_version(self):
-        snark = Snark.from_circuit(_circuit())
-        data = bytearray(proof_to_bytes(snark.prove().proof))
-        data[4] = 99
-        with pytest.raises(ValueError):
-            proof_from_bytes(bytes(data))
-
-    def test_truncated(self):
-        snark = Snark.from_circuit(_circuit())
-        data = proof_to_bytes(snark.prove().proof)
-        with pytest.raises(ValueError):
-            proof_from_bytes(data[: len(data) // 2])
-
-    def test_trailing_garbage(self):
-        snark = Snark.from_circuit(_circuit())
-        data = proof_to_bytes(snark.prove().proof)
-        with pytest.raises(ValueError):
-            proof_from_bytes(data + b"\x00")
-
-    def test_corruption_detected(self):
+    def test_corruption_detected(self, keys, bundle):
         """Any single-byte corruption either fails to parse or fails to
         verify (sampled offsets)."""
-        snark = Snark.from_circuit(_circuit())
-        bundle = snark.prove()
+        _, vk = keys
         data = proof_to_bytes(bundle.proof)
         for offset in range(10, len(data), max(1, len(data) // 12)):
             corrupted = bytearray(data)
@@ -120,12 +220,55 @@ class TestSerialization:
                 proof = proof_from_bytes(bytes(corrupted))
             except (ValueError, OverflowError):
                 continue
-            assert not snark.verify_raw(bundle.public, proof), offset
+            assert not verify(
+                vk, ProofBundle(proof=proof, public=bundle.public)), offset
 
-    def test_wire_size_matches_accounting_order(self):
-        snark = Snark.from_circuit(_circuit())
-        bundle = snark.prove()
+    def test_wire_size_matches_accounting_order(self, bundle):
         data = proof_to_bytes(bundle.proof)
         # Wire format carries framing, so it is somewhat larger than the
         # raw payload accounting but within 2x.
-        assert bundle.proof.size_bytes() < len(data) < 2 * bundle.proof.size_bytes() + 256
+        assert (bundle.proof.size_bytes() < len(data)
+                < 2 * bundle.proof.size_bytes() + 256)
+
+
+class TestDeprecatedShims:
+    def test_snark_warns(self, compiled):
+        r1cs, _, _ = compiled
+        with pytest.warns(DeprecationWarning, match="setup"):
+            Snark(r1cs, TEST)
+
+    def test_prove_and_verify_warns_and_works(self):
+        with pytest.warns(DeprecationWarning):
+            b = prove_and_verify(_circuit())
+        assert b.size_bytes() > 0
+
+    def test_from_circuit_captures_assignment(self):
+        with pytest.warns(DeprecationWarning):
+            snark = Snark.from_circuit(_circuit())
+        bundle = snark.prove()
+        assert snark.verify(bundle)
+
+    def test_explicit_assignment(self, compiled):
+        r1cs, pub, wit = compiled
+        with pytest.warns(DeprecationWarning):
+            snark = Snark(r1cs, TEST)
+        bundle = snark.prove(pub, wit)
+        assert snark.verify(bundle)
+        assert snark.verify_raw(bundle.public, bundle.proof)
+
+    def test_missing_assignment_raises(self, compiled):
+        r1cs, _, _ = compiled
+        with pytest.warns(DeprecationWarning):
+            snark = Snark(r1cs, TEST)
+        with pytest.raises(ValueError):
+            snark.prove()
+
+    def test_shim_agrees_with_lifecycle(self, compiled, keys):
+        r1cs, pub, wit = compiled
+        _, vk = keys
+        with pytest.warns(DeprecationWarning):
+            snark = Snark(r1cs, TEST, rng=np.random.default_rng(11))
+        shim_bundle = snark.prove(pub, wit)
+        assert verify(vk, ProofBundle(proof=shim_bundle.proof,
+                                      public=shim_bundle.public,
+                                      preset_name=TEST.name))

@@ -17,6 +17,15 @@ overhead — measured null-span / disabled-counter unit costs times the
 observed instrumentation-event counts — stays under 2% of the proving
 time, so the observability layer cannot silently tax the hot path.
 
+Since schema_version 3 the payload also records a ``workers_sweep`` at
+the largest size: per-proof kernel parallelism (the same statement proved
+through a :class:`~repro.parallel.ProverPool` at each worker count, with
+a byte-identity check against the serial proof) and job-level batch
+throughput via :func:`repro.snark.prove_many`.  Speedups are measured,
+not assumed — on a single-core machine they will sit at or below 1.0 and
+the JSON says so; the sweep exists to track the trajectory on real
+multicore hardware.
+
 Run:  PYTHONPATH=src python tools/bench_prover.py --json BENCH_prover.json
 """
 
@@ -124,6 +133,81 @@ def bench_size(log_size: int, num_rows: int, repeats: int,
     }
 
 
+def bench_workers(log_size: int, num_rows: int, repeats: int,
+                  repetitions: int, worker_counts) -> dict:
+    """Workers sweep at one size: in-proof kernel fan-out and job-level
+    batch throughput, each against its own serial baseline."""
+    from repro.parallel import ProverPool
+    from repro.snark import TEST, proof_to_bytes, prove_many, setup, verify
+
+    # Serial baselines divide the other rows, so 1 leads the sweep.
+    worker_counts = sorted(set(worker_counts) | {1})
+    r1cs, public, witness = synthetic_r1cs(log_size, band=16, seed=log_size)
+    params = SpartanParams(repetitions=repetitions)
+
+    def pooled_prove(pool):
+        # Fresh seeded rng per call so proof bytes are comparable.
+        pcs = OrionPCS(params=PCSParams(num_rows=num_rows),
+                       rng=np.random.default_rng(1))
+        return SpartanProver(r1cs, pcs, params, pool=pool).prove(
+            public, witness, Transcript())
+
+    kernel_rows = []
+    serial_bytes = proof_to_bytes(pooled_prove(None))
+    serial_s = None
+    for w in worker_counts:
+        with ProverPool(w) as pool:
+            pooled_prove(pool)  # warm-up (spawns + primes the workers)
+            prove_s = min_wall(repeats, lambda: pooled_prove(pool))
+            identical = proof_to_bytes(pooled_prove(pool)) == serial_bytes
+        if not identical:
+            raise SystemExit(
+                f"pooled proof at {w} workers diverged from serial bytes")
+        if w == 1:
+            serial_s = prove_s
+        kernel_rows.append({
+            "workers": w,
+            "prove_s": round(prove_s, 6),
+            "speedup_vs_serial": round(serial_s / prove_s, 4),
+            "bytes_identical_to_serial": identical,
+        })
+
+    # Job-level throughput: a batch of independent statements.  Uses the
+    # registry TEST preset so workers can rebuild the full pipeline from
+    # the pickled proving key.
+    pk, vk = setup(r1cs, TEST)
+    num_jobs = max(worker_counts)
+    jobs = [(public, witness)] * num_jobs
+    batch_rows = []
+    batch_serial_s = None
+    for w in worker_counts:
+        with ProverPool(w) as pool:
+            prove_many(pk, jobs[:1], pool=pool, base_seed=0)  # warm-up
+            t0 = time.perf_counter()
+            bundles = prove_many(pk, jobs, pool=pool, base_seed=5)
+            batch_s = time.perf_counter() - t0
+        if not all(verify(vk, b) for b in bundles):
+            raise SystemExit(f"prove_many batch at {w} workers "
+                             "produced an invalid proof")
+        if w == 1:
+            batch_serial_s = batch_s
+        batch_rows.append({
+            "workers": w,
+            "jobs": num_jobs,
+            "batch_s": round(batch_s, 6),
+            "per_proof_s": round(batch_s / num_jobs, 6),
+            "speedup_vs_serial": round(batch_serial_s / batch_s, 4),
+        })
+    import os
+
+    return {
+        "log_size": log_size,
+        "cpu_count": os.cpu_count(),
+        "kernel_parallel": kernel_rows,
+        "prove_many": batch_rows,
+    }
+
+
 def min_wall(repeats: int, fn) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -148,6 +232,10 @@ def main(argv=None) -> int:
     ap.add_argument("--repetitions", type=int, default=1,
                     help="sumcheck repetitions (default: 1 — timing, not "
                          "soundness; the paper's 128-bit setting is 3)")
+    ap.add_argument("--workers", default="1,2,4",
+                    help="comma-separated worker counts for the parallel "
+                         "sweep at the largest size (default: %(default)s); "
+                         "pass 0 to skip the sweep")
     args = ap.parse_args(argv)
     if args.min_log > args.max_log:
         ap.error(f"--min-log {args.min_log} exceeds --max-log {args.max_log}")
@@ -170,10 +258,26 @@ def main(argv=None) -> int:
               f"{row['verify_s']:>10.4f} {row['proof_size_bytes']:>10} "
               f"{row['instrumentation']['noop_overhead_frac']:>9.4%}")
 
+    worker_counts = [int(w) for w in str(args.workers).split(",") if w]
+    workers_sweep = None
+    if worker_counts != [0]:
+        print(f"workers sweep at 2^{args.max_log} "
+              f"(counts: {sorted(set(worker_counts) | {1})}):")
+        workers_sweep = bench_workers(args.max_log, args.num_rows,
+                                      args.repeats, args.repetitions,
+                                      worker_counts)
+        for row in workers_sweep["kernel_parallel"]:
+            print(f"  kernels   w={row['workers']}: {row['prove_s']:.4f} s "
+                  f"({row['speedup_vs_serial']:.2f}x)")
+        for row in workers_sweep["prove_many"]:
+            print(f"  batch x{row['jobs']} w={row['workers']}: "
+                  f"{row['batch_s']:.4f} s "
+                  f"({row['speedup_vs_serial']:.2f}x)")
+
     payload = {
         "benchmark": "spartan_orion_functional_prover",
         "schema": "repro/bench-prover",
-        "schema_version": 2,
+        "schema_version": 3,
         "workload": "synthetic_r1cs(band=16)",
         "num_rows": args.num_rows,
         "repetitions": args.repetitions,
@@ -185,6 +289,7 @@ def main(argv=None) -> int:
             k: round(v, 12) for k, v in unit_costs.items()},
         "max_noop_overhead_frac": MAX_NOOP_OVERHEAD_FRAC,
         "results": results,
+        "workers_sweep": workers_sweep,
     }
     Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.json}")
