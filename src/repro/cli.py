@@ -199,13 +199,15 @@ def _print_metrics(snapshot: dict) -> None:
 
 
 def _make_pool(args: argparse.Namespace):
-    """A live ProverPool when ``--workers N>1`` was given, else None."""
+    """The persistent ProverPool when ``--workers N>1`` was given, else
+    None.  The pool is process-wide (repro.parallel.get_pool) and is torn
+    down by its atexit hook — commands must not close it mid-process."""
     workers = getattr(args, "workers", None)
     if workers is None or workers <= 1:
         return None
-    from .parallel import ProverPool
+    from .parallel import get_pool
 
-    return ProverPool(workers)
+    return get_pool(workers)
 
 
 def _cmd_prove(args: argparse.Namespace) -> int:
@@ -227,17 +229,13 @@ def _cmd_prove(args: argparse.Namespace) -> int:
         return bundle, ok, t0, t1, t2
 
     tracer = None
-    try:
-        if args.trace or args.trace_out or args.metrics:
-            from . import obs
+    if args.trace or args.trace_out or args.metrics:
+        from . import obs
 
-            with obs.tracing() as tracer:
-                bundle, ok, t0, t1, t2 = run()
-        else:
+        with obs.tracing() as tracer:
             bundle, ok, t0, t1, t2 = run()
-    finally:
-        if pool is not None:
-            pool.close()
+    else:
+        bundle, ok, t0, t1, t2 = run()
     print(f"prove: {t1 - t0:.2f} s | verify: {t2 - t1:.2f} s | "
           f"proof: {bundle.size_bytes()} bytes | valid: {ok}")
     if tracer is not None and (args.trace or args.trace_out):
@@ -315,13 +313,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     r1cs, public, witness = circuit.compile()
     pk, vk = setup(r1cs, TEST)
     pool = _make_pool(args)
-    try:
-        with obs.tracing() as tracer:
-            bundle = prove(pk, public, witness, pool=pool, circuit_id=name)
-            ok = verify(vk, bundle)
-    finally:
-        if pool is not None:
-            pool.close()
+    with obs.tracing() as tracer:
+        bundle = prove(pk, public, witness, pool=pool, circuit_id=name)
+        ok = verify(vk, bundle)
     if not ok:
         print("proof failed to verify", file=sys.stderr)
         return 1

@@ -3,11 +3,27 @@
 The prover's hot kernels — Merkle column/layer hashing, per-row
 Reed-Solomon NTT encodes, and whole independent proof jobs — are
 embarrassingly parallel (the very structure NoCap's vector FUs exploit).
-:class:`ProverPool` fans them out over worker processes with a serial
-fallback that is bit-identical at any worker count; see
-``docs/API.md`` for usage.
+:class:`ProverPool` fans them out over worker processes with zero-copy
+shared-memory dispatch (:mod:`repro.parallel.shm`) and a serial fallback
+that is bit-identical at any worker count; :func:`get_pool` returns the
+persistent process-wide pool that stays warm across ``prove`` /
+``prove_many`` calls.  See ``docs/API.md`` for usage and
+``docs/PERFORMANCE.md`` for the dispatch model.
 """
 
-from .pool import ProverPool
+from . import kernels, shm
+from .pool import ProverPool, get_pool, shutdown
+from .shm import ArrayDesc, BlobDesc, ShmArena, ShmError, shm_enabled
 
-__all__ = ["ProverPool"]
+__all__ = [
+    "ProverPool",
+    "get_pool",
+    "shutdown",
+    "ShmArena",
+    "ShmError",
+    "ArrayDesc",
+    "BlobDesc",
+    "shm_enabled",
+    "kernels",
+    "shm",
+]

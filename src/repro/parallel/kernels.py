@@ -22,12 +22,14 @@ the exported Chrome trace).
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from typing import List
 
 import numpy as np
 
 from .. import obs
-from ..hashing.fieldhash import DIGEST_BYTES, hash_columns
+from ..hashing.fieldhash import DIGEST_BYTES, fold_chunk, hash_columns
+from . import shm
 
 
 def hash_columns_chunk(matrix: np.ndarray) -> List[bytes]:
@@ -81,6 +83,106 @@ def prove_job(r1cs, preset, public, witness, seed_seq, circuit_id: str) -> bytes
     from ..snark.api import ProvingKey, prove
 
     pk = ProvingKey(r1cs=r1cs, preset=preset)
+    bundle = prove(pk, public, witness,
+                   rng=np.random.default_rng(seed_seq),
+                   circuit_id=circuit_id)
+    return bundle.to_bytes()
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy (shared-memory) kernel variants
+# ---------------------------------------------------------------------------
+#
+# Same computations as above, but operands arrive as shm *descriptors* and
+# results are written into preallocated shared output buffers — the only
+# bytes crossing the executor pipe are the descriptors themselves.  Each
+# returns None; the parent reads the output segment after the fan-out.
+
+def probe_noop() -> int:
+    """Dispatch-cost probe body: measures pure round-trip overhead."""
+    return 0
+
+
+def encode_chunk_shm(code, in_desc, out_desc, lo: int, hi: int) -> None:
+    """RS-encode message rows ``lo:hi`` of the shared input matrix into
+    the same row range of the shared codeword buffer."""
+    with obs.span("worker.rs_encode", "rs_encode", rows=hi - lo):
+        with shm.attached(in_desc) as msg, shm.attached(out_desc) as out:
+            out[lo:hi] = code.encode_rows(np.ascontiguousarray(msg[lo:hi]))
+
+
+def hash_columns_chunk_shm(in_desc, out_desc, lo: int, hi: int) -> None:
+    """Merkle leaf digests for columns ``lo:hi``, written into the shared
+    ``(cols, 32)`` uint8 digest buffer."""
+    with obs.span("worker.merkle_leaves", "merkle", cols=hi - lo):
+        with shm.attached(in_desc) as matrix, shm.attached(out_desc) as out:
+            digests = hash_columns(np.ascontiguousarray(matrix[:, lo:hi]))
+            out[lo:hi] = np.frombuffer(b"".join(digests),
+                                       dtype=np.uint8).reshape(hi - lo,
+                                                               DIGEST_BYTES)
+
+
+def hash_layer_chunk_shm(in_desc, out_desc, lo: int, hi: int) -> None:
+    """One Merkle layer combine for output nodes ``lo:hi`` (byte views)."""
+    with obs.span("worker.merkle_layer", "merkle", nodes=hi - lo):
+        pair = 2 * DIGEST_BYTES
+        with shm.attached(in_desc) as raw_in, shm.attached(out_desc) as raw_out:
+            pairs = raw_in[lo * pair : hi * pair].tobytes()
+            _sha3 = hashlib.sha3_256
+            out = bytearray((hi - lo) * DIGEST_BYTES)
+            for i in range(0, len(out), DIGEST_BYTES):
+                out[i : i + DIGEST_BYTES] = _sha3(
+                    pairs[2 * i : 2 * i + 2 * DIGEST_BYTES]).digest()
+            raw_out[lo * DIGEST_BYTES : hi * DIGEST_BYTES] = \
+                np.frombuffer(bytes(out), dtype=np.uint8)
+
+
+def fold_chunk_shm(tile_desc, state_desc, lo: int, hi: int,
+                   tile_rows: int, words_done: int) -> None:
+    """Streaming column-hash fold: chain columns ``lo:hi`` of a codeword
+    row tile into the shared per-column chain state (see
+    :class:`~repro.hashing.fieldhash.ColumnChainHasher`)."""
+    with obs.span("worker.merkle_fold", "merkle", cols=hi - lo):
+        with shm.attached(tile_desc) as tile, shm.attached(state_desc) as st:
+            fold_chunk(st[lo:hi],
+                       np.ascontiguousarray(tile[:tile_rows, lo:hi]),
+                       words_done)
+
+
+#: Worker-resident proving keys, keyed by broadcast token.  A key is
+#: unpickled from its shared blob ONCE per worker and reused for every
+#: job of every batch that broadcasts the same key (amortized keygen).
+_PK_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_PK_CACHE_MAX = 4
+
+
+def _cached_pk(token: str, blob_desc):
+    pk = _PK_CACHE.get(token)
+    if pk is None:
+        pk = shm.read_pickle(blob_desc)
+        _PK_CACHE[token] = pk
+        while len(_PK_CACHE) > _PK_CACHE_MAX:
+            _PK_CACHE.popitem(last=False)
+    else:
+        _PK_CACHE.move_to_end(token)
+    return pk
+
+
+def prove_job_shm(token: str, blob_desc, pub_desc, wit_desc, job: int,
+                  seed_seq, circuit_id: str) -> bytes:
+    """Zero-copy variant of :func:`prove_job`.
+
+    The proving key arrives as a shared pickled blob broadcast once per
+    batch (and cached per worker across batches); the job's public inputs
+    and witness are rows of two stacked shared matrices.  Only the
+    envelope bytes travel back through the pipe.
+    """
+    from ..snark.api import prove
+
+    pk = _cached_pk(token, blob_desc)
+    with shm.attached(pub_desc) as pubs, shm.attached(wit_desc) as wits:
+        public = np.array(pubs[job])
+        witness = np.array(wits[job])
     bundle = prove(pk, public, witness,
                    rng=np.random.default_rng(seed_seq),
                    circuit_id=circuit_id)

@@ -11,20 +11,33 @@ CPU-bound Python/numpy, so threads would serialize on the GIL):
   hashing, chunked by column / node range,
 * :meth:`encode_rows` — per-row Reed-Solomon NTT encodes, chunked by row
   range,
+* :meth:`stream_encode_hash` — the tiled commit pipeline: row tiles are
+  encoded into a shared ring buffer and folded straight into per-column
+  hash chains, so the full codeword matrix is never materialized,
 * :meth:`run` — the generic ordered fan-out used by
   :func:`repro.snark.api.prove_many` for independent proof jobs.
+
+Dispatch is **zero-copy** by default: operands live in named
+shared-memory segments (:mod:`repro.parallel.shm`) and workers attach by
+``(name, shape, dtype)`` descriptor, writing results into preallocated
+shared output buffers.  ``REPRO_PARALLEL_NO_SHM=1`` falls back to the
+original pickled dispatch (for platforms without usable POSIX shm); both
+paths are bit-identical.
+
+Pools are meant to be **persistent**: :func:`get_pool` returns a lazily
+created process-wide pool that stays warm across ``prove`` /
+``prove_many`` / bench runs (module :func:`shutdown` and an ``atexit``
+hook tear it down).  A pool calibrates itself with a one-shot per-worker
+dispatch-cost probe and then *auto-selects chunk sizes*: a kernel call
+whose estimated serial time cannot amortize at least
+:data:`BREAK_EVEN_DISPATCHES` probe round-trips per chunk simply runs
+inline — fan-out never makes a call slower than serial by more than the
+probe's own noise.
 
 Determinism contract: every kernel chunk is a pure function and results
 are assembled in submission order, so outputs — and therefore proof
 bytes — are **bit-identical at any worker count**, including the serial
-fallback taken when ``workers <= 1`` (which executes inline, adding zero
-overhead and zero behavioral difference to single-process operation).
-
-Workers are warmed up at pool start: under the ``fork`` start method the
-child inherits the parent's imported modules and NTT twiddle caches as
-shared read-only pages; under ``spawn`` a pickled initializer imports the
-kernel modules and primes the root tables so the first real task does not
-pay the cold-start cost.
+fallback taken when ``workers <= 1`` and the auto-chunk inline fallback.
 
 When the parent is tracing (:func:`repro.obs.tracing`), each chunk runs
 under a worker-local tracer; its spans and counter deltas are shipped
@@ -34,7 +47,9 @@ appears as an extra pid in the exported Chrome trace.
 
 from __future__ import annotations
 
+import atexit
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -42,14 +57,38 @@ import numpy as np
 
 from .. import obs
 from ..hashing import fieldhash
-from . import kernels
+from ..obs.metrics import METRICS as _METRICS
+from . import kernels, shm
 
-#: Smallest per-chunk work units below which fan-out overhead (pickling,
-#: IPC) exceeds the kernel time; chunks never shrink below these.
+#: Smallest per-chunk work units below which fan-out overhead (descriptor
+#: dispatch, attach) exceeds the kernel time; chunks never shrink below
+#: these even when the dispatch probe suggests smaller.
 MIN_ENCODE_ROWS_PER_CHUNK = 4
 MIN_HASH_COLS_PER_CHUNK = 64
 #: Minimum *output* nodes for a Merkle layer to be worth fanning out.
 MIN_LAYER_NODES = 2048
+
+#: A dispatched chunk must carry at least this many dispatch round-trips
+#: worth of estimated kernel work, or the call stays serial (break-even
+#: model; see docs/PERFORMANCE.md).
+BREAK_EVEN_DISPATCHES = 4.0
+
+#: Fallback dispatch cost before the probe has run (a conservative 1 ms).
+DEFAULT_DISPATCH_COST_S = 1e-3
+
+#: Calibration constants for the break-even model: rough serial cost per
+#: item element on commodity CPUs.  Order-of-magnitude is all the model
+#: needs — the measured dispatch cost is the precise side of the ratio.
+EST_ENCODE_S_PER_CELL = 2.5e-7    # per message matrix cell (NTT amortized)
+EST_HASH_S_PER_CELL = 3.0e-7      # per matrix cell hashed into a leaf
+EST_LAYER_S_PER_NODE = 1.2e-6     # per Merkle combine output node
+
+#: Row tiles of the streaming commit pipeline (multiple of the 4-element
+#: hash word so chain folds never straddle a tile boundary; sized so the
+#: NTT's transient temporaries stay far below the avoided matrix).
+STREAM_TILE_ROWS = 16
+#: Ring slots reused across tiles (allocate-once, stream-forever).
+STREAM_RING_SLOTS = 2
 
 
 def _worker_init(root_sizes: Tuple[int, ...]) -> None:
@@ -83,30 +122,72 @@ def _call_task(payload):
 class ProverPool:
     """A pool of prover worker processes with a bit-identical serial fallback.
 
-    Use as a context manager (workers are real OS processes)::
+    Long-lived use goes through :func:`get_pool` (process-wide warm pool);
+    scoped use works as a context manager::
 
         with ProverPool(workers=4) as pool:
             bundle = prove(pk, public, witness, pool=pool)
 
     ``workers=None`` uses ``os.cpu_count()``; ``workers <= 1`` makes
     every method execute inline on the calling process — the exact serial
-    code path, byte for byte.
+    code path, byte for byte.  ``auto_chunk=False`` disables the
+    break-even model so every eligible call fans out (tests use this to
+    force worker traffic at small sizes).
     """
 
     def __init__(self, workers: Optional[int] = None,
                  start_method: Optional[str] = None,
-                 warm_root_sizes: Tuple[int, ...] = (1 << 10, 1 << 12)):
+                 warm_root_sizes: Tuple[int, ...] = (1 << 10, 1 << 12),
+                 auto_chunk: bool = True):
         if workers is None:
             workers = os.cpu_count() or 1
         self.workers = max(1, int(workers))
+        self.auto_chunk = auto_chunk
         self._start_method = start_method
         self._warm_root_sizes = tuple(warm_root_sizes)
         self._executor: Optional[ProcessPoolExecutor] = None
+        self._arena: Optional[shm.ShmArena] = None
+        self._dispatch_cost_s: Optional[float] = None
+        self._warm_s: Optional[float] = None
+        self._broadcasts: dict = {}   # id(obj) -> (obj, token, BlobDesc)
 
     # -- lifecycle ---------------------------------------------------------
     @property
     def is_serial(self) -> bool:
         return self.workers <= 1
+
+    @property
+    def job_fanout_pays(self) -> bool:
+        """Whether dispatching whole proof jobs to workers can win here.
+
+        Proof jobs are CPU-bound, so job-level fan-out needs real cores:
+        on a single-core host concurrent resident provers just
+        time-slice the one core and pay context-switch plus
+        cache-interference costs (measured ~15-20% at 2^20), so
+        ``prove_many`` stays inline there.  ``auto_chunk=False`` forces
+        fan-out regardless, mirroring its meaning for kernel chunking
+        (tests use it to exercise the dispatch machinery on any host).
+        """
+        if self.is_serial:
+            return False
+        return not self.auto_chunk or (os.cpu_count() or 1) >= 2
+
+    @property
+    def use_shm(self) -> bool:
+        """True when this pool dispatches via shared memory (re-read per
+        call so ``REPRO_PARALLEL_NO_SHM`` can flip at runtime)."""
+        return shm.shm_enabled()
+
+    @property
+    def dispatch_cost_s(self) -> float:
+        """Measured per-task round-trip cost (probe), or the default."""
+        return (self._dispatch_cost_s if self._dispatch_cost_s is not None
+                else DEFAULT_DISPATCH_COST_S)
+
+    @property
+    def warm_s(self) -> Optional[float]:
+        """Wall seconds the one-time warm-up (spawn + probe) took."""
+        return self._warm_s
 
     def _mp_context(self):
         import multiprocessing as mp
@@ -127,10 +208,50 @@ class ProverPool:
                 initargs=(self._warm_root_sizes,))
         return self._executor
 
+    def arena(self) -> shm.ShmArena:
+        """The pool-owned shared-memory arena (created on first use)."""
+        if self._arena is None or self._arena.closed:
+            self._arena = shm.ShmArena(prefix="repro_pool")
+        return self._arena
+
+    def warm(self) -> None:
+        """Spawn the workers and run the one-shot dispatch-cost probe.
+
+        Idempotent; a warm pool answers its first real kernel call at
+        steady-state cost.  The probe times ``2 * workers`` no-op tasks
+        round-trip and records the per-task cost that the break-even
+        chunk model divides against.
+        """
+        if self.is_serial or self._dispatch_cost_s is not None:
+            return
+        t0 = time.perf_counter()
+        ex = self._ensure_executor()
+        n_tasks = 2 * self.workers
+        list(ex.map(_call_task,
+                    [(kernels.probe_noop, (), False)] * n_tasks))
+        elapsed = time.perf_counter() - t0
+        # First tasks pay process spawn; probe again on the warm workers.
+        t0 = time.perf_counter()
+        list(ex.map(_call_task,
+                    [(kernels.probe_noop, (), False)] * n_tasks))
+        self._dispatch_cost_s = max(1e-6,
+                                    (time.perf_counter() - t0) / n_tasks)
+        self._warm_s = elapsed + (time.perf_counter() - t0)
+        _METRICS.gauge("parallel.dispatch_cost_s", self._dispatch_cost_s)
+
     def close(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
+        self._broadcasts.clear()
+        self._dispatch_cost_s = None
+        self._warm_s = None
+
+    #: Alias used by the lifecycle docs; identical to :meth:`close`.
+    shutdown = close
 
     def __enter__(self) -> "ProverPool":
         if not self.is_serial:
@@ -141,7 +262,7 @@ class ProverPool:
         self.close()
         return False
 
-    # -- generic fan-out ---------------------------------------------------
+    # -- chunk selection ---------------------------------------------------
     def chunk_ranges(self, n: int, min_per_chunk: int = 1
                      ) -> List[Tuple[int, int]]:
         """Split ``range(n)`` into at most ``workers`` contiguous,
@@ -157,6 +278,32 @@ class ProverPool:
             lo = hi
         return ranges
 
+    def auto_chunk_ranges(self, n: int, item_cost_s: float,
+                          min_per_chunk: int = 1
+                          ) -> Optional[List[Tuple[int, int]]]:
+        """Break-even chunking: ranges worth dispatching, or ``None``.
+
+        Using the probe's measured dispatch cost ``d``, the call fans out
+        only if the estimated serial time ``n * item_cost_s`` funds at
+        least two chunks each carrying :data:`BREAK_EVEN_DISPATCHES`
+        dispatches' worth of work; below that, ``None`` tells the caller
+        to run inline.  The chunk count is monotone non-decreasing in
+        ``n`` (for fixed costs), so growing inputs never fan out *less*.
+        """
+        if n <= 0:
+            return []
+        if not self.auto_chunk:
+            return self.chunk_ranges(n, min_per_chunk)
+        self.warm()
+        budget = BREAK_EVEN_DISPATCHES * self.dispatch_cost_s
+        max_chunks = int(n * max(item_cost_s, 1e-12) // budget)
+        if max_chunks < 2:
+            return None
+        num = min(self.workers, max_chunks)
+        per_chunk = max(min_per_chunk, -(-n // num))
+        return self.chunk_ranges(n, per_chunk)
+
+    # -- generic fan-out ---------------------------------------------------
     def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
         """Execute ``fn(*task)`` for every task, returning results in
         submission order.
@@ -170,6 +317,7 @@ class ProverPool:
             return [fn(*task) for task in tasks]
         trace = obs.get_tracer() is not None
         payloads = [(fn, task, trace) for task in tasks]
+        _METRICS.inc("parallel.dispatches", len(tasks))
         outs = list(self._ensure_executor().map(_call_task, payloads))
         tracer = obs.get_tracer()
         results = []
@@ -181,21 +329,63 @@ class ProverPool:
             results.append(result)
         return results
 
+    # -- broadcast (amortized keygen) --------------------------------------
+    def broadcast(self, obj) -> Tuple[str, shm.BlobDesc]:
+        """Pickle ``obj`` into shared memory ONCE and return a worker
+        token + blob descriptor.
+
+        Repeat broadcasts of the same object (``prove_many`` batches
+        reusing one :class:`~repro.snark.api.ProvingKey`) return the
+        cached descriptor — the pickling and placement cost is paid once
+        per pool lifetime, not once per job.  A strong reference to the
+        object is kept so its identity stays valid for the cache key.
+        """
+        key = id(obj)
+        hit = self._broadcasts.get(key)
+        if hit is not None and hit[0] is obj:
+            return hit[1], hit[2]
+        desc = self.arena().share_pickle(obj)
+        token = desc.name
+        self._broadcasts[key] = (obj, token, desc)
+        _METRICS.inc("parallel.broadcasts")
+        return token, desc
+
     # -- kernel-specific entry points --------------------------------------
     def encode_rows(self, code, matrix: np.ndarray) -> np.ndarray:
         """Reed-Solomon-encode every matrix row, chunked across workers.
 
         Falls back to the in-process batched encode when the pool is
-        serial or the matrix is too small to amortize the fan-out.
+        serial or the break-even model says the matrix is too small to
+        amortize the fan-out.  The shm path shares the message matrix
+        once and has workers write into a preallocated shared codeword
+        buffer; only descriptors cross the pipe.
         """
         matrix = np.asarray(matrix, dtype=np.uint64)
         rows = matrix.shape[0] if matrix.ndim == 2 else 0
         if self.is_serial or rows < 2 * MIN_ENCODE_ROWS_PER_CHUNK:
             return code.encode_rows(matrix)
-        ranges = self.chunk_ranges(rows, MIN_ENCODE_ROWS_PER_CHUNK)
-        parts = self.run(kernels.encode_chunk,
-                         [(code, matrix[lo:hi]) for lo, hi in ranges])
-        return np.vstack(parts)
+        ranges = self.auto_chunk_ranges(
+            rows, EST_ENCODE_S_PER_CELL * matrix.shape[1],
+            MIN_ENCODE_ROWS_PER_CHUNK)
+        if ranges is None:
+            return code.encode_rows(matrix)
+        if not self.use_shm:
+            _METRICS.inc("parallel.bytes_pickled",
+                         matrix.nbytes + code.blowup * matrix.nbytes)
+            parts = self.run(kernels.encode_chunk,
+                             [(code, matrix[lo:hi]) for lo, hi in ranges])
+            return np.vstack(parts)
+        arena = self.arena()
+        in_desc = arena.share_array(matrix)
+        out_desc = arena.alloc_array(
+            (rows, code.codeword_length(matrix.shape[1])), "uint64")
+        try:
+            self.run(kernels.encode_chunk_shm,
+                     [(code, in_desc, out_desc, lo, hi) for lo, hi in ranges])
+            return np.array(arena.view(out_desc))
+        finally:
+            arena.free(in_desc)
+            arena.free(out_desc)
 
     def hash_columns(self, matrix: np.ndarray) -> List[bytes]:
         """Merkle leaf digests of every matrix column, chunked by column."""
@@ -203,11 +393,29 @@ class ProverPool:
         cols = matrix.shape[1] if matrix.ndim == 2 else 0
         if self.is_serial or cols < 2 * MIN_HASH_COLS_PER_CHUNK:
             return fieldhash.hash_columns(matrix)
-        ranges = self.chunk_ranges(cols, MIN_HASH_COLS_PER_CHUNK)
-        parts = self.run(kernels.hash_columns_chunk,
-                         [(np.ascontiguousarray(matrix[:, lo:hi]),)
-                          for lo, hi in ranges])
-        return [d for part in parts for d in part]
+        ranges = self.auto_chunk_ranges(
+            cols, EST_HASH_S_PER_CELL * matrix.shape[0],
+            MIN_HASH_COLS_PER_CHUNK)
+        if ranges is None:
+            return fieldhash.hash_columns(matrix)
+        if not self.use_shm:
+            _METRICS.inc("parallel.bytes_pickled", matrix.nbytes)
+            parts = self.run(kernels.hash_columns_chunk,
+                             [(np.ascontiguousarray(matrix[:, lo:hi]),)
+                              for lo, hi in ranges])
+            return [d for part in parts for d in part]
+        arena = self.arena()
+        in_desc = arena.share_array(matrix)
+        out_desc = arena.alloc_array((cols, fieldhash.DIGEST_BYTES), "uint8")
+        try:
+            self.run(kernels.hash_columns_chunk_shm,
+                     [(in_desc, out_desc, lo, hi) for lo, hi in ranges])
+            raw = arena.view(out_desc).tobytes()
+        finally:
+            arena.free(in_desc)
+            arena.free(out_desc)
+        return [raw[i : i + fieldhash.DIGEST_BYTES]
+                for i in range(0, len(raw), fieldhash.DIGEST_BYTES)]
 
     def hash_layer(self, raw: bytes) -> Optional[bytes]:
         """One Merkle layer combine step, chunked by output-node range.
@@ -219,8 +427,133 @@ class ProverPool:
         out_nodes = len(raw) // (2 * fieldhash.DIGEST_BYTES)
         if self.is_serial or out_nodes < MIN_LAYER_NODES:
             return None
+        ranges = self.auto_chunk_ranges(out_nodes, EST_LAYER_S_PER_NODE,
+                                        MIN_LAYER_NODES // self.workers)
+        if ranges is None:
+            return None
         pair = 2 * fieldhash.DIGEST_BYTES
-        ranges = self.chunk_ranges(out_nodes, MIN_LAYER_NODES // self.workers)
-        parts = self.run(kernels.hash_layer_chunk,
-                         [(raw[lo * pair : hi * pair],) for lo, hi in ranges])
-        return b"".join(parts)
+        if not self.use_shm:
+            _METRICS.inc("parallel.bytes_pickled", len(raw) * 3 // 2)
+            parts = self.run(kernels.hash_layer_chunk,
+                             [(raw[lo * pair : hi * pair],)
+                              for lo, hi in ranges])
+            return b"".join(parts)
+        arena = self.arena()
+        in_desc = arena.share_array(np.frombuffer(raw, dtype=np.uint8))
+        out_desc = arena.alloc_array((len(raw) // 2,), "uint8")
+        try:
+            self.run(kernels.hash_layer_chunk_shm,
+                     [(in_desc, out_desc, lo, hi) for lo, hi in ranges])
+            return arena.view(out_desc).tobytes()
+        finally:
+            arena.free(in_desc)
+            arena.free(out_desc)
+
+    # -- streaming commit pipeline -----------------------------------------
+    def stream_encode_hash(self, code, matrix: np.ndarray,
+                           tile_rows: int = STREAM_TILE_ROWS) -> bytes:
+        """Tiled RS-encode + column-hash without the full codeword matrix.
+
+        Encodes ``tile_rows``-row tiles of the message matrix into a
+        shared ring buffer (slots reused round-robin) and folds each tile
+        straight into per-column hash chains; returns the flat leaf
+        digests :func:`~repro.hashing.fieldhash.hash_columns` would have
+        produced for the full codeword matrix.  Peak transient memory is
+        ``O(ring slots * tile bytes + 32 bytes/column)`` regardless of
+        the committed table size.
+
+        Serial pools run the identical tile loop inline (no shm); either
+        way the digests are byte-identical to the one-shot path.
+        """
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        rows, msg_cols = matrix.shape
+        cw_len = code.codeword_length(msg_cols)
+        tile_rows = max(fieldhash.ELEMENTS_PER_WORD,
+                        (tile_rows // fieldhash.ELEMENTS_PER_WORD)
+                        * fieldhash.ELEMENTS_PER_WORD)
+        chains = fieldhash.ColumnChainHasher(cw_len, rows)
+        tile_bytes = tile_rows * cw_len * 8
+        _METRICS.gauge("pcs.stream_tile_bytes", tile_bytes)
+        if self.is_serial or not self.use_shm:
+            for lo in range(0, rows, tile_rows):
+                hi = min(rows, lo + tile_rows)
+                chains.update(code.encode_rows(matrix[lo:hi]))
+            return chains.finalize()
+        self.warm()
+        arena = self.arena()
+        slots = [arena.alloc_array((tile_rows, cw_len), "uint64")
+                 for _ in range(STREAM_RING_SLOTS)]
+        state_desc = arena.alloc_array((cw_len, fieldhash.DIGEST_BYTES),
+                                       "uint8")
+        try:
+            col_ranges = self.chunk_ranges(cw_len, MIN_HASH_COLS_PER_CHUNK)
+            for t, lo in enumerate(range(0, rows, tile_rows)):
+                hi = min(rows, lo + tile_rows)
+                slot = slots[t % STREAM_RING_SLOTS]
+                # Encode the tile's rows into the ring slot...
+                row_ranges = self.chunk_ranges(hi - lo,
+                                               MIN_ENCODE_ROWS_PER_CHUNK)
+                in_desc = arena.share_array(matrix[lo:hi])
+                try:
+                    self.run(kernels.encode_chunk_shm,
+                             [(code, in_desc, slot, rlo, rhi)
+                              for rlo, rhi in row_ranges])
+                finally:
+                    arena.free(in_desc)
+                # ...and fold it into the shared chain state by columns.
+                self.run(kernels.fold_chunk_shm,
+                         [(slot, state_desc, clo, chi, hi - lo,
+                           chains.words_done) for clo, chi in col_ranges])
+                chains.state[...] = arena.view(state_desc)
+                chains.rows_fed += hi - lo
+                chains.words_done += -(-(hi - lo)
+                                       // fieldhash.ELEMENTS_PER_WORD)
+            return chains.finalize()
+        finally:
+            for slot in slots:
+                arena.free(slot)
+            arena.free(state_desc)
+
+
+# ---------------------------------------------------------------------------
+# The persistent process-wide pool
+# ---------------------------------------------------------------------------
+
+_GLOBAL_POOL: Optional[ProverPool] = None
+
+
+def get_pool(workers: Optional[int] = None) -> Optional[ProverPool]:
+    """The process-wide warm :class:`ProverPool`, created lazily.
+
+    Successive calls with the same effective worker count return the SAME
+    pool — worker processes, NTT caches, the dispatch-probe calibration,
+    and broadcast proving keys all stay warm across ``prove`` /
+    ``prove_many`` / bench invocations.  Asking for a different count
+    shuts the old pool down and builds a new one.  ``workers`` of 0 or 1
+    returns ``None`` (the serial path needs no pool).  Tear down
+    explicitly with :func:`shutdown`; an ``atexit`` hook guarantees it
+    regardless.
+    """
+    global _GLOBAL_POOL
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, int(workers))
+    if workers <= 1:
+        return None
+    if _GLOBAL_POOL is not None and _GLOBAL_POOL.workers == workers:
+        return _GLOBAL_POOL
+    if _GLOBAL_POOL is not None:
+        _GLOBAL_POOL.close()
+    _GLOBAL_POOL = ProverPool(workers)
+    return _GLOBAL_POOL
+
+
+def shutdown() -> None:
+    """Tear down the process-wide pool (workers, arena, broadcasts)."""
+    global _GLOBAL_POOL
+    if _GLOBAL_POOL is not None:
+        _GLOBAL_POOL.close()
+        _GLOBAL_POOL = None
+
+
+atexit.register(shutdown)

@@ -34,6 +34,19 @@ class SparseMatrix:
         self._groups: tuple | None = None      # lazy matvec gather plan
         self._transposed: "SparseMatrix | None" = None
 
+    def __getstate__(self):
+        """Pickle only the coordinate arrays.
+
+        The matvec gather plan and the transposed view are derived caches
+        a receiver can rebuild lazily; dropping them roughly halves the
+        pickled size of a proving key, which matters when keys are
+        broadcast to worker processes (see ProverPool.broadcast).
+        """
+        state = self.__dict__.copy()
+        state["_groups"] = None
+        state["_transposed"] = None
+        return state
+
     @classmethod
     def from_entries(cls, num_rows: int, num_cols: int,
                      entries: Iterable[Tuple[int, int, int]]) -> "SparseMatrix":

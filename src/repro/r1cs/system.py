@@ -62,6 +62,14 @@ class R1CS:
         self.shape = R1CSShape(n, num_public, num_witness)
         self._stacked_cache: StackedMatrices | None = None
 
+    def __getstate__(self):
+        """Drop the fused-SpMV cache from pickles (rebuilt lazily by the
+        receiver); with SparseMatrix's own cache trimming this keeps a
+        broadcast proving key to the raw coordinate arrays."""
+        state = self.__dict__.copy()
+        state["_stacked_cache"] = None
+        return state
+
     def _stacked(self) -> StackedMatrices:
         """Lazily-built fused view of (A, B, C) for single-pass SpMVs."""
         if self._stacked_cache is None:

@@ -137,28 +137,24 @@ def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
     seed makes proof bytes fully deterministic.
 
     Parallelism: pass a live :class:`~repro.parallel.ProverPool` as
-    ``pool`` (amortizes worker start-up across calls) or ``workers=N``
-    to spin up a temporary pool for this call.  ``workers<=1`` — the
-    default — is the exact serial path; proof bytes are identical either
-    way.
+    ``pool``, or ``workers=N`` to use the persistent process-wide pool
+    (:func:`repro.parallel.get_pool` — created once, kept warm across
+    calls, torn down by :func:`repro.parallel.shutdown` or atexit).
+    ``workers<=1`` — the default — is the exact serial path; proof bytes
+    are identical either way.
     """
     if rng is None:
         rng = np.random.default_rng(seed)
-    own_pool = None
     if pool is None and workers is not None and workers > 1:
-        from ..parallel import ProverPool
+        from ..parallel import get_pool
 
-        pool = own_pool = ProverPool(workers)
-    try:
-        prover = pk.prover(rng=rng, pool=pool)
-        with _span("snark.prove", "other",
-                   constraints=pk.r1cs.shape.num_constraints,
-                   repetitions=pk.preset.sumcheck_repetitions,
-                   workers=getattr(pool, "workers", 1)):
-            proof = prover.prove(public, witness, Transcript())
-    finally:
-        if own_pool is not None:
-            own_pool.close()
+        pool = get_pool(workers)
+    prover = pk.prover(rng=rng, pool=pool)
+    with _span("snark.prove", "other",
+               constraints=pk.r1cs.shape.num_constraints,
+               repetitions=pk.preset.sumcheck_repetitions,
+               workers=getattr(pool, "workers", 1)):
+        proof = prover.prove(public, witness, Transcript())
     return ProofBundle(proof=proof,
                        public=np.asarray(public, dtype=np.uint64),
                        preset_name=pk.preset.name,
@@ -179,27 +175,59 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
     at any worker count (``workers<=1`` runs the same code inline).
     Workers ship each bundle back in envelope form, which the caller
     re-parses — so every batched proof also round-trips the wire format.
+
+    Keygen is amortized: with workers the batch broadcasts ``pk`` into
+    shared memory ONCE (cached across batches on the persistent pool
+    from :func:`repro.parallel.get_pool`) and stacks the jobs' public
+    inputs and witnesses into two shared arrays, so per-job dispatch
+    ships only a few descriptors instead of re-pickling the key.  Set
+    ``REPRO_PARALLEL_NO_SHM=1`` for the legacy pickled dispatch.
+
+    Fan-out is skipped when it cannot pay — no pool, one job, or a
+    single-core host where CPU-bound jobs would only time-slice
+    (``ProverPool.job_fanout_pays``); the batch then runs the identical
+    serial path inline.
     """
     jobs = list(jobs)
     if not jobs:
         return []
-    from ..parallel import ProverPool
-    from ..parallel.kernels import prove_job
+    from ..parallel import get_pool, kernels
+    from ..obs.metrics import METRICS
 
     seeds = np.random.SeedSequence(base_seed).spawn(len(jobs))
-    tasks = [(pk.r1cs, pk.preset, np.asarray(pub, dtype=np.uint64),
-              np.asarray(wit, dtype=np.uint64), seed, circuit_id)
-             for (pub, wit), seed in zip(jobs, seeds)]
-    own_pool = None
+    pubs = [np.asarray(pub, dtype=np.uint64) for pub, _ in jobs]
+    wits = [np.asarray(wit, dtype=np.uint64) for _, wit in jobs]
     if pool is None:
-        pool = own_pool = ProverPool(workers)
-    try:
-        with _span("snark.prove_many", "other", jobs=len(jobs),
-                   workers=pool.workers):
-            blobs = pool.run(prove_job, tasks)
-    finally:
-        if own_pool is not None:
-            own_pool.close()
+        pool = get_pool(workers)
+    if (pool is None or pool.is_serial or len(jobs) == 1
+            or not pool.job_fanout_pays):
+        with _span("snark.prove_many", "other", jobs=len(jobs), workers=1):
+            blobs = [kernels.prove_job(pk.r1cs, pk.preset, pub, wit, seed,
+                                       circuit_id)
+                     for pub, wit, seed in zip(pubs, wits, seeds)]
+        return [ProofBundle.from_bytes(blob) for blob in blobs]
+    with _span("snark.prove_many", "other", jobs=len(jobs),
+               workers=pool.workers):
+        if pool.use_shm:
+            arena = pool.arena()
+            token, blob_desc = pool.broadcast(pk)
+            pub_desc = arena.share_array(np.stack(pubs))
+            wit_desc = arena.share_array(np.stack(wits))
+            try:
+                tasks = [(token, blob_desc, pub_desc, wit_desc, j, seed,
+                          circuit_id) for j, seed in enumerate(seeds)]
+                blobs = pool.run(kernels.prove_job_shm, tasks)
+            finally:
+                arena.free(pub_desc)
+                arena.free(wit_desc)
+        else:
+            tasks = [(pk.r1cs, pk.preset, pub, wit, seed, circuit_id)
+                     for pub, wit, seed in zip(pubs, wits, seeds)]
+            import pickle
+
+            METRICS.inc("parallel.bytes_pickled",
+                        len(jobs) * len(pickle.dumps(pk)))
+            blobs = pool.run(kernels.prove_job, tasks)
     return [ProofBundle.from_bytes(blob) for blob in blobs]
 
 

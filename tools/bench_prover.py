@@ -26,6 +26,15 @@ not assumed — on a single-core machine they will sit at or below 1.0 and
 the JSON says so; the sweep exists to track the trajectory on real
 multicore hardware.
 
+Since schema_version 4 every size row records the process peak RSS (the
+streaming commit keeps it bounded through the 2^20 sweep), and the
+workers sweep carries a ``dispatch`` block per worker count: pool warm-up
+wall time, the measured per-task dispatch cost from the one-shot probe,
+and bytes shared through :mod:`repro.parallel.shm` vs bytes pickled
+through the executor pipe.  The harness asserts ``prove_many`` with
+workers stays at or above ``--min-batch-speedup`` (default 0.95) of the
+serial batch — the regression guard for the zero-copy dispatch path.
+
 Run:  PYTHONPATH=src python tools/bench_prover.py --json BENCH_prover.json
 """
 
@@ -44,7 +53,7 @@ import numpy as np
 
 from repro import obs
 from repro.hashing import Transcript
-from repro.obs.metrics import METRICS
+from repro.obs.metrics import METRICS, peak_rss_bytes
 from repro.pcs import OrionPCS, PCSParams
 from repro.spartan import SpartanParams, SpartanProver, SpartanVerifier
 from repro.workloads import synthetic_r1cs
@@ -54,6 +63,18 @@ DEFAULT_NUM_ROWS = 128
 
 #: Ceiling on the disabled tracer's projected share of proving time.
 MAX_NOOP_OVERHEAD_FRAC = 0.02
+
+#: Batch proving with workers must stay within this fraction of serial
+#: (the zero-copy dispatch regression guard; override with
+#: ``--min-batch-speedup``, 0 disables).
+DEFAULT_MIN_BATCH_SPEEDUP = 0.95
+
+#: The speedup floor is only enforced when the serial batch takes at
+#: least this long: the guard exists to catch steady-state dispatch
+#: regressions, and a sub-second batch is all fixed overhead — a few
+#: milliseconds of scheduler noise would swing it across any floor.
+#: Skipped guards are reported, never silent.
+MIN_GUARD_BATCH_S = 1.0
 
 
 def measure_instrumentation_unit_costs(iters: int = 200_000) -> dict:
@@ -123,6 +144,9 @@ def bench_size(log_size: int, num_rows: int, repeats: int,
         "verify_s": round(verify_s, 6),
         "proof_size_bytes": proof.size_bytes(),
         "verified": True,
+        # Cumulative process high-water mark AFTER this size completed;
+        # the streaming commit keeps its growth bounded as sizes scale.
+        "peak_rss_bytes": peak_rss_bytes(),
         "phase_seconds": {fam: round(s, 6) for fam, s in
                           sorted(tracer.family_seconds().items())},
         "instrumentation": {
@@ -133,10 +157,32 @@ def bench_size(log_size: int, num_rows: int, repeats: int,
     }
 
 
+def _dispatch_snapshot(pool, shared0: int, pickled0: int) -> dict:
+    """Dispatch-overhead block for one worker count (schema v4)."""
+    counters = METRICS.counters()
+    return {
+        "pool_warm_s": round(pool.warm_s or 0.0, 6),
+        "dispatch_probe_s": round(pool.dispatch_cost_s, 9),
+        "shm_enabled": pool.use_shm,
+        "bytes_shared": int(counters.get("parallel.shm_bytes_shared", 0)
+                            - shared0),
+        "bytes_pickled": int(counters.get("parallel.bytes_pickled", 0)
+                             - pickled0),
+        "dispatches": int(counters.get("parallel.dispatches", 0)),
+    }
+
+
 def bench_workers(log_size: int, num_rows: int, repeats: int,
-                  repetitions: int, worker_counts) -> dict:
+                  repetitions: int, worker_counts,
+                  min_batch_speedup: float) -> dict:
     """Workers sweep at one size: in-proof kernel fan-out and job-level
-    batch throughput, each against its own serial baseline."""
+    batch throughput, each against its own serial baseline.
+
+    Pools are warmed (spawn + dispatch probe + proving-key broadcast)
+    before the timed region, mirroring how the persistent process-wide
+    pool amortizes those costs in real use; the dispatch block records
+    what the warm-up cost and what the timed runs actually shipped.
+    """
     from repro.parallel import ProverPool
     from repro.snark import TEST, proof_to_bytes, prove_many, setup, verify
 
@@ -157,8 +203,16 @@ def bench_workers(log_size: int, num_rows: int, repeats: int,
     serial_s = None
     for w in worker_counts:
         with ProverPool(w) as pool:
-            pooled_prove(pool)  # warm-up (spawns + primes the workers)
-            prove_s = min_wall(repeats, lambda: pooled_prove(pool))
+            pool.warm()
+            pooled_prove(pool)  # warm-up (primes worker caches)
+            METRICS.enabled = True
+            METRICS.reset()
+            try:
+                prove_s = min_wall(repeats, lambda: pooled_prove(pool))
+                dispatch = _dispatch_snapshot(pool, 0, 0)
+            finally:
+                METRICS.enabled = False
+                METRICS.reset()
             identical = proof_to_bytes(pooled_prove(pool)) == serial_bytes
         if not identical:
             raise SystemExit(
@@ -170,11 +224,12 @@ def bench_workers(log_size: int, num_rows: int, repeats: int,
             "prove_s": round(prove_s, 6),
             "speedup_vs_serial": round(serial_s / prove_s, 4),
             "bytes_identical_to_serial": identical,
+            "dispatch": dispatch,
         })
 
     # Job-level throughput: a batch of independent statements.  Uses the
     # registry TEST preset so workers can rebuild the full pipeline from
-    # the pickled proving key.
+    # the broadcast proving key.
     pk, vk = setup(r1cs, TEST)
     num_jobs = max(worker_counts)
     jobs = [(public, witness)] * num_jobs
@@ -182,27 +237,74 @@ def bench_workers(log_size: int, num_rows: int, repeats: int,
     batch_serial_s = None
     for w in worker_counts:
         with ProverPool(w) as pool:
-            prove_many(pk, jobs[:1], pool=pool, base_seed=0)  # warm-up
-            t0 = time.perf_counter()
-            bundles = prove_many(pk, jobs, pool=pool, base_seed=5)
-            batch_s = time.perf_counter() - t0
+            pool.warm()
+            # Warm-up with one job per worker so the batch path is primed
+            # like a warm pool: pk broadcast, every worker's unpickle
+            # cache, and every worker's NTT root tables at this size.
+            prove_many(pk, jobs[: min(w, num_jobs)], pool=pool, base_seed=0)
+            METRICS.enabled = True
+            METRICS.reset()
+            try:
+                # The speedup a multi-second batch is guarded on must be
+                # robust to this-machine noise: pair every pooled shot
+                # with a serial shot taken seconds earlier (cancels slow
+                # drift — frequency scaling, page cache, allocator
+                # state), then take the MEDIAN of the per-round ratios
+                # (discards the heavy-tailed steal-time spikes a shared
+                # vCPU lands on individual shots, which a ratio of two
+                # independent minima amplifies instead).
+                bundles = None
+                ratios = []
+                pooled_best = float("inf")
+                for _ in range(max(1, repeats)):
+                    t0 = time.perf_counter()
+                    prove_many(pk, jobs, workers=1, base_seed=5)
+                    serial_i = time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    bundles = prove_many(pk, jobs, pool=pool, base_seed=5)
+                    pooled_i = time.perf_counter() - t0
+                    ratios.append(serial_i / pooled_i)
+                    pooled_best = min(pooled_best, pooled_i)
+                batch_s = pooled_best
+                ratios.sort()
+                median_ratio = ratios[len(ratios) // 2]
+                dispatch = _dispatch_snapshot(pool, 0, 0)
+            finally:
+                METRICS.enabled = False
+                METRICS.reset()
         if not all(verify(vk, b) for b in bundles):
             raise SystemExit(f"prove_many batch at {w} workers "
                              "produced an invalid proof")
         if w == 1:
             batch_serial_s = batch_s
+        speedup = median_ratio
         batch_rows.append({
             "workers": w,
             "jobs": num_jobs,
             "batch_s": round(batch_s, 6),
             "per_proof_s": round(batch_s / num_jobs, 6),
-            "speedup_vs_serial": round(batch_serial_s / batch_s, 4),
+            "speedup_vs_serial": round(speedup, 4),
+            "dispatch": dispatch,
         })
+        if w > 1 and min_batch_speedup > 0:
+            if batch_serial_s < MIN_GUARD_BATCH_S:
+                print(f"  note: {min_batch_speedup:.2f}x floor not enforced "
+                      f"(serial batch {batch_serial_s:.3f}s < "
+                      f"{MIN_GUARD_BATCH_S:.1f}s; too small to amortize "
+                      "dispatch)")
+            elif speedup < min_batch_speedup:
+                raise SystemExit(
+                    f"prove_many at {w} workers ran at {speedup:.2f}x "
+                    f"serial, below the {min_batch_speedup:.2f}x floor: the "
+                    "zero-copy dispatch path regressed")
     import os
 
     return {
         "log_size": log_size,
         "cpu_count": os.cpu_count(),
+        "min_batch_speedup": min_batch_speedup,
+        "guard_enforced": bool(min_batch_speedup > 0
+                               and batch_serial_s >= MIN_GUARD_BATCH_S),
         "kernel_parallel": kernel_rows,
         "prove_many": batch_rows,
     }
@@ -236,6 +338,11 @@ def main(argv=None) -> int:
                     help="comma-separated worker counts for the parallel "
                          "sweep at the largest size (default: %(default)s); "
                          "pass 0 to skip the sweep")
+    ap.add_argument("--min-batch-speedup", type=float,
+                    default=DEFAULT_MIN_BATCH_SPEEDUP,
+                    help="fail if prove_many with workers drops below this "
+                         "fraction of serial (default: %(default)s; 0 "
+                         "disables, e.g. on noisy CI runners)")
     args = ap.parse_args(argv)
     if args.min_log > args.max_log:
         ap.error(f"--min-log {args.min_log} exceeds --max-log {args.max_log}")
@@ -265,19 +372,26 @@ def main(argv=None) -> int:
               f"(counts: {sorted(set(worker_counts) | {1})}):")
         workers_sweep = bench_workers(args.max_log, args.num_rows,
                                       args.repeats, args.repetitions,
-                                      worker_counts)
+                                      worker_counts,
+                                      args.min_batch_speedup)
         for row in workers_sweep["kernel_parallel"]:
+            d = row["dispatch"]
             print(f"  kernels   w={row['workers']}: {row['prove_s']:.4f} s "
-                  f"({row['speedup_vs_serial']:.2f}x)")
+                  f"({row['speedup_vs_serial']:.2f}x, "
+                  f"shared {d['bytes_shared']:,} B, "
+                  f"pickled {d['bytes_pickled']:,} B)")
         for row in workers_sweep["prove_many"]:
+            d = row["dispatch"]
             print(f"  batch x{row['jobs']} w={row['workers']}: "
                   f"{row['batch_s']:.4f} s "
-                  f"({row['speedup_vs_serial']:.2f}x)")
+                  f"({row['speedup_vs_serial']:.2f}x, "
+                  f"shared {d['bytes_shared']:,} B, "
+                  f"pickled {d['bytes_pickled']:,} B)")
 
     payload = {
         "benchmark": "spartan_orion_functional_prover",
         "schema": "repro/bench-prover",
-        "schema_version": 3,
+        "schema_version": 4,
         "workload": "synthetic_r1cs(band=16)",
         "num_rows": args.num_rows,
         "repetitions": args.repetitions,
