@@ -14,6 +14,8 @@ verify       Verify a proof envelope written by ``prove --out`` (exit
 trace        Prove a workload under the tracer, simulate it on NoCap, and
              export a Chrome trace plus a per-phase breakdown
              (see docs/OBSERVABILITY.md).
+doctor       Inspect /dev/shm for repro-owned shared-memory segments and
+             reclaim orphans left by killed provers.
 """
 
 from __future__ import annotations
@@ -222,7 +224,8 @@ def _cmd_prove(args: argparse.Namespace) -> int:
 
     def run():
         t0 = time.perf_counter()
-        bundle = prove(pk, public, witness, pool=pool, circuit_id=name)
+        bundle = prove(pk, public, witness, pool=pool, circuit_id=name,
+                       timeout_s=args.timeout)
         t1 = time.perf_counter()
         ok = verify(vk, bundle)
         t2 = time.perf_counter()
@@ -361,6 +364,50 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 EXIT_CONFIG_ERROR = 3
 EXIT_DESERIALIZATION_ERROR = 4
 EXIT_VERIFICATION_ERROR = 5
+EXIT_TIMEOUT = 6
+
+
+def _cmd_doctor(args: argparse.Namespace) -> int:
+    """Scan /dev/shm for repro-owned segments; reclaim orphans.
+
+    A prover that dies by SIGKILL (OOM killer, ``kill -9``) cannot run
+    its cleanup hooks, leaving named segments behind to eat host memory.
+    Segment names embed the owning pid, so orphans are identifiable and
+    safe to unlink.  ``--dry-run`` reports without unlinking.
+    """
+    import os
+
+    from .parallel import shm
+
+    try:
+        names = sorted(os.listdir(shm.SHM_DIR))
+    except OSError:
+        print(f"{shm.SHM_DIR} is not available on this platform; "
+              "nothing to inspect")
+        return 0
+    owned = [n for n in names if shm.segment_owner_pid(n) is not None]
+    orphans = set(shm.scan_orphans())
+    live = [n for n in owned if n not in orphans]
+    print(f"{shm.SHM_DIR}: {len(owned)} repro segment(s) "
+          f"({len(live)} owned by live processes, {len(orphans)} orphaned)")
+    for name in live:
+        path = os.path.join(shm.SHM_DIR, name)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        print(f"  live    {name}  pid={shm.segment_owner_pid(name)} "
+              f"{size:,} bytes")
+    for name in sorted(orphans):
+        print(f"  orphan  {name}  pid={shm.segment_owner_pid(name)} (dead)")
+    if not orphans:
+        return 0
+    if args.dry_run:
+        print(f"dry run: {len(orphans)} orphan(s) left in place")
+        return 0
+    reclaimed = shm.reclaim_orphans()
+    print(f"reclaimed {len(reclaimed)} orphaned segment(s)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -370,8 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
                     "a co-designed accelerator model",
         epilog="Input errors (malformed proofs, impossible configurations) "
                "print a one-line message and exit with a distinct nonzero "
-               "code (config=3, deserialization=4, verification=5); pass "
-               "--strict to re-raise them with a full traceback instead.")
+               "code (config=3, deserialization=4, verification=5, "
+               "timeout=6); pass --strict to re-raise them with a full "
+               "traceback instead.")
     parser.add_argument("--strict", action="store_true",
                         help="re-raise typed input errors with a traceback "
                              "instead of the one-line message")
@@ -413,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     prove.add_argument("--workers", type=int, default=None, metavar="N",
                        help="fan prover kernels out across N worker "
                             "processes (proof bytes are identical at any N)")
+    prove.add_argument("--timeout", type=float, default=None, metavar="SECS",
+                       help="bound proving with a cooperative deadline; on "
+                            f"expiry the command exits {EXIT_TIMEOUT} "
+                            "(ProverTimeoutError)")
     prove.add_argument("--trace", action="store_true",
                        help="record prover phase spans and print the tree")
     prove.add_argument("--trace-out", metavar="PATH", default=None,
@@ -451,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics", action="store_true",
                        help="also print kernel counters")
     trace.set_defaults(func=_cmd_trace)
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="list repro shared-memory segments and reclaim orphans "
+             "left by killed provers")
+    doctor.add_argument("--dry-run", action="store_true",
+                        help="report orphans without unlinking them")
+    doctor.set_defaults(func=_cmd_doctor)
     return parser
 
 
@@ -458,6 +518,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .errors import (
         ConfigError,
         DeserializationError,
+        ProverTimeoutError,
         ReproError,
         VerificationError,
     )
@@ -477,6 +538,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = EXIT_CONFIG_ERROR
         elif isinstance(exc, DeserializationError):
             code = EXIT_DESERIALIZATION_ERROR
+        elif isinstance(exc, ProverTimeoutError):
+            code = EXIT_TIMEOUT
         else:
             code = EXIT_VERIFICATION_ERROR
         print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)

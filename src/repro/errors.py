@@ -25,6 +25,8 @@ __all__ = [
     "VerificationError",
     "TranscriptError",
     "ConfigError",
+    "ProverTimeoutError",
+    "WorkerCrashError",
 ]
 
 
@@ -66,3 +68,48 @@ class TranscriptError(ReproError, ValueError):
 class ConfigError(ReproError, ValueError):
     """An impossible or inconsistent configuration (simulator design
     points, ISA programs, protocol parameter presets)."""
+
+
+class ProverTimeoutError(ReproError, TimeoutError):
+    """A proving deadline expired before the work completed.
+
+    Raised by the cooperative deadline checks threaded through the
+    prover (:mod:`repro.parallel.deadline`) and by the pool when a
+    dispatch outlives the job budget.  Unlike worker crashes, a deadline
+    expiry is *final*: the engine never degrades past it, because the
+    caller asked for bounded latency, not a slower answer.  Carries the
+    budget and the phase that tripped it.
+    """
+
+    def __init__(self, message: str, *, budget_s: Optional[float] = None,
+                 phase: str = ""):
+        self.budget_s = budget_s
+        self.phase = phase
+        detail = []
+        if phase:
+            detail.append(f"in {phase}")
+        if budget_s is not None:
+            detail.append(f"budget {budget_s:.3f}s")
+        if detail:
+            message = f"{message} ({', '.join(detail)})"
+        super().__init__(message)
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A pooled dispatch could not be completed by worker processes.
+
+    Raised after the supervisor has exhausted its restart/retry budget
+    (worker death, hung dispatches, torn shared memory, poisoned
+    broadcast blobs).  Kernel callers catch this and *degrade* to the
+    bit-identical in-process serial path; job-level callers surface it
+    per job (:func:`repro.snark.api.prove_many` partial results).
+    """
+
+    def __init__(self, message: str, *, retries: int = 0,
+                 cause: Optional[BaseException] = None):
+        self.retries = retries
+        if retries:
+            message = f"{message} (after {retries} retries)"
+        super().__init__(message)
+        if cause is not None:
+            self.__cause__ = cause

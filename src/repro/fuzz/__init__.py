@@ -1,6 +1,9 @@
-"""Adversarial-input tooling: structured proof mutators for the
-soundness fault-injection harness (``tools/soundness_harness.py``)."""
+"""Adversarial tooling: structured proof mutators for the soundness
+harness (``tools/soundness_harness.py``) and deterministic runtime fault
+injection for the chaos harness (``tools/chaos_harness.py``)."""
 
+from . import faults  # noqa: F401
+from .faults import FaultPlan  # noqa: F401
 from .mutate import (  # noqa: F401
     Mutant,
     STRUCTURED_MUTATORS,
@@ -10,8 +13,10 @@ from .mutate import (  # noqa: F401
 )
 
 __all__ = [
+    "FaultPlan",
     "Mutant",
     "STRUCTURED_MUTATORS",
+    "faults",
     "random_mutants",
     "splice_mutants",
     "structured_mutants",

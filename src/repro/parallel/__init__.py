@@ -11,12 +11,15 @@ persistent process-wide pool that stays warm across ``prove`` /
 ``docs/PERFORMANCE.md`` for the dispatch model.
 """
 
-from . import kernels, shm
-from .pool import ProverPool, get_pool, shutdown
-from .shm import ArrayDesc, BlobDesc, ShmArena, ShmError, shm_enabled
+from . import deadline, kernels, shm
+from .deadline import check_deadline, deadline_scope
+from .pool import FaultPolicy, ProverPool, get_pool, shutdown
+from .shm import (ArrayDesc, BlobDesc, ShmArena, ShmError, reclaim_orphans,
+                  scan_orphans, shm_enabled)
 
 __all__ = [
     "ProverPool",
+    "FaultPolicy",
     "get_pool",
     "shutdown",
     "ShmArena",
@@ -24,6 +27,11 @@ __all__ = [
     "ArrayDesc",
     "BlobDesc",
     "shm_enabled",
+    "scan_orphans",
+    "reclaim_orphans",
+    "check_deadline",
+    "deadline_scope",
+    "deadline",
     "kernels",
     "shm",
 ]

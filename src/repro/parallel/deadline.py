@@ -1,0 +1,111 @@
+"""Cooperative deadlines for the proving engine.
+
+A proof has no natural preemption points a supervisor could interrupt —
+the kernels are long numpy calls — so cancellation is *cooperative*: the
+caller opens a :func:`deadline_scope`, and instrumented chokepoints
+(phase boundaries in :mod:`repro.spartan.protocol`, every pooled kernel
+entry, every dispatch wait in :class:`~repro.parallel.pool.ProverPool`)
+call :func:`check_deadline`, which raises
+:class:`~repro.errors.ProverTimeoutError` once the budget is spent.
+
+The active deadline is module state, matching the single-threaded
+prover.  Scopes nest: an inner scope can only *tighten* the deadline
+(its expiry is clamped to the enclosing one), so a per-job budget inside
+a batch budget never extends the batch.
+
+The fast path is one ``is None`` check — proving without a deadline pays
+nothing.  Worker processes inherit no deadline; the parent enforces
+dispatch-level budgets by bounding its waits with :func:`remaining`
+(see ``ProverPool._supervised_map``) and killing workers that overrun.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..errors import ProverTimeoutError
+
+__all__ = [
+    "Deadline",
+    "active_deadline",
+    "check_deadline",
+    "deadline_scope",
+    "remaining",
+]
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock plus its original budget."""
+
+    __slots__ = ("expires_at", "budget_s", "label")
+
+    def __init__(self, budget_s: float, label: str = ""):
+        if budget_s is None or budget_s < 0:
+            raise ValueError(f"deadline budget must be >= 0, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self.expires_at = time.monotonic() + self.budget_s
+        self.label = label
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, phase: str = "") -> None:
+        """Raise :class:`ProverTimeoutError` if the budget is spent."""
+        if self.expired:
+            what = self.label or "prover deadline"
+            raise ProverTimeoutError(f"{what} expired",
+                                     budget_s=self.budget_s, phase=phase)
+
+
+#: The active deadline (None = unbounded); module state like the tracer.
+_ACTIVE: Optional[Deadline] = None
+
+
+def active_deadline() -> Optional[Deadline]:
+    """The deadline currently in force, or None."""
+    return _ACTIVE
+
+
+def remaining() -> Optional[float]:
+    """Seconds left on the active deadline, or None when unbounded."""
+    return None if _ACTIVE is None else _ACTIVE.remaining()
+
+
+def check_deadline(phase: str = "") -> None:
+    """Cooperative cancellation point: no-op when no deadline is active,
+    raises :class:`~repro.errors.ProverTimeoutError` once expired."""
+    if _ACTIVE is not None:
+        _ACTIVE.check(phase)
+
+
+@contextmanager
+def deadline_scope(budget_s: Optional[float],
+                   label: str = "") -> Iterator[Optional[Deadline]]:
+    """Install a deadline for the duration of the block.
+
+    ``budget_s=None`` is a no-op scope (unbounded).  Nested scopes clamp:
+    the effective expiry is the *earlier* of the new budget and any
+    enclosing deadline, so callers cannot accidentally extend a budget
+    set above them.  The previous deadline is restored on exit even when
+    the block raises.
+    """
+    global _ACTIVE
+    if budget_s is None:
+        yield _ACTIVE
+        return
+    deadline = Deadline(budget_s, label=label)
+    prev = _ACTIVE
+    if prev is not None and prev.expires_at < deadline.expires_at:
+        deadline.expires_at = prev.expires_at
+    _ACTIVE = deadline
+    try:
+        yield deadline
+    finally:
+        _ACTIVE = prev

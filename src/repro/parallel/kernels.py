@@ -27,13 +27,30 @@ from typing import List
 
 import numpy as np
 
+import os as _os
+
 from .. import obs
 from ..hashing.fieldhash import DIGEST_BYTES, fold_chunk, hash_columns
 from . import shm
 
 
+def _maybe_fault(site: str, desc=None) -> None:
+    """Chaos-harness injection point (see :mod:`repro.fuzz.faults`).
+
+    Deliberately one env-dict lookup on the no-fault path: the faults
+    module is only imported once a plan is actually armed, so production
+    kernels pay nothing.
+    """
+    if "REPRO_FAULTS" not in _os.environ:
+        return
+    from ..fuzz import faults
+
+    faults.maybe_fault(site, desc=desc)
+
+
 def hash_columns_chunk(matrix: np.ndarray) -> List[bytes]:
     """Merkle leaf digests for a contiguous slice of codeword columns."""
+    _maybe_fault("hash_columns")
     with obs.span("worker.merkle_leaves", "merkle", cols=matrix.shape[1]):
         return hash_columns(matrix)
 
@@ -46,6 +63,7 @@ def hash_layer_chunk(pairs: bytes) -> bytes:
     Byte-identical to the serial loop in
     :class:`~repro.hashing.merkle.MerkleTree`.
     """
+    _maybe_fault("hash_layer")
     with obs.span("worker.merkle_layer", "merkle",
                   nodes=len(pairs) // (2 * DIGEST_BYTES)):
         _sha3 = hashlib.sha3_256
@@ -63,11 +81,13 @@ def encode_chunk(code, rows: np.ndarray) -> np.ndarray:
     per-row encodes are independent, so a row slice encodes exactly as it
     would inside the full-matrix batched call.
     """
+    _maybe_fault("encode")
     with obs.span("worker.rs_encode", "rs_encode", rows=rows.shape[0]):
         return code.encode_rows(rows)
 
 
-def prove_job(r1cs, preset, public, witness, seed_seq, circuit_id: str) -> bytes:
+def prove_job(r1cs, preset, public, witness, seed_seq, circuit_id: str,
+              timeout_s=None) -> bytes:
     """Generate one complete proof and return its envelope wire bytes.
 
     The job-level parallel path of :func:`repro.snark.api.prove_many`:
@@ -78,14 +98,18 @@ def prove_job(r1cs, preset, public, witness, seed_seq, circuit_id: str) -> bytes
 
     ``seed_seq`` is a :class:`numpy.random.SeedSequence` derived
     deterministically in the parent, making the zk-mask — the proof's
-    only randomness — independent of the worker count.
+    only randomness — independent of the worker count.  ``timeout_s``
+    installs a per-job cooperative deadline inside the worker
+    (:mod:`repro.parallel.deadline`), so one runaway statement cannot
+    stall a whole batch from the inside.
     """
     from ..snark.api import ProvingKey, prove
 
+    _maybe_fault("prove_job")
     pk = ProvingKey(r1cs=r1cs, preset=preset)
     bundle = prove(pk, public, witness,
                    rng=np.random.default_rng(seed_seq),
-                   circuit_id=circuit_id)
+                   circuit_id=circuit_id, timeout_s=timeout_s)
     return bundle.to_bytes()
 
 
@@ -106,6 +130,7 @@ def probe_noop() -> int:
 def encode_chunk_shm(code, in_desc, out_desc, lo: int, hi: int) -> None:
     """RS-encode message rows ``lo:hi`` of the shared input matrix into
     the same row range of the shared codeword buffer."""
+    _maybe_fault("encode", desc=in_desc)
     with obs.span("worker.rs_encode", "rs_encode", rows=hi - lo):
         with shm.attached(in_desc) as msg, shm.attached(out_desc) as out:
             out[lo:hi] = code.encode_rows(np.ascontiguousarray(msg[lo:hi]))
@@ -114,6 +139,7 @@ def encode_chunk_shm(code, in_desc, out_desc, lo: int, hi: int) -> None:
 def hash_columns_chunk_shm(in_desc, out_desc, lo: int, hi: int) -> None:
     """Merkle leaf digests for columns ``lo:hi``, written into the shared
     ``(cols, 32)`` uint8 digest buffer."""
+    _maybe_fault("hash_columns", desc=in_desc)
     with obs.span("worker.merkle_leaves", "merkle", cols=hi - lo):
         with shm.attached(in_desc) as matrix, shm.attached(out_desc) as out:
             digests = hash_columns(np.ascontiguousarray(matrix[:, lo:hi]))
@@ -124,6 +150,7 @@ def hash_columns_chunk_shm(in_desc, out_desc, lo: int, hi: int) -> None:
 
 def hash_layer_chunk_shm(in_desc, out_desc, lo: int, hi: int) -> None:
     """One Merkle layer combine for output nodes ``lo:hi`` (byte views)."""
+    _maybe_fault("hash_layer", desc=in_desc)
     with obs.span("worker.merkle_layer", "merkle", nodes=hi - lo):
         pair = 2 * DIGEST_BYTES
         with shm.attached(in_desc) as raw_in, shm.attached(out_desc) as raw_out:
@@ -142,6 +169,7 @@ def fold_chunk_shm(tile_desc, state_desc, lo: int, hi: int,
     """Streaming column-hash fold: chain columns ``lo:hi`` of a codeword
     row tile into the shared per-column chain state (see
     :class:`~repro.hashing.fieldhash.ColumnChainHasher`)."""
+    _maybe_fault("fold", desc=tile_desc)
     with obs.span("worker.merkle_fold", "merkle", cols=hi - lo):
         with shm.attached(tile_desc) as tile, shm.attached(state_desc) as st:
             fold_chunk(st[lo:hi],
@@ -169,7 +197,7 @@ def _cached_pk(token: str, blob_desc):
 
 
 def prove_job_shm(token: str, blob_desc, pub_desc, wit_desc, job: int,
-                  seed_seq, circuit_id: str) -> bytes:
+                  seed_seq, circuit_id: str, timeout_s=None) -> bytes:
     """Zero-copy variant of :func:`prove_job`.
 
     The proving key arrives as a shared pickled blob broadcast once per
@@ -179,11 +207,12 @@ def prove_job_shm(token: str, blob_desc, pub_desc, wit_desc, job: int,
     """
     from ..snark.api import prove
 
+    _maybe_fault("prove_job", desc=blob_desc)
     pk = _cached_pk(token, blob_desc)
     with shm.attached(pub_desc) as pubs, shm.attached(wit_desc) as wits:
         public = np.array(pubs[job])
         witness = np.array(wits[job])
     bundle = prove(pk, public, witness,
                    rng=np.random.default_rng(seed_seq),
-                   circuit_id=circuit_id)
+                   circuit_id=circuit_id, timeout_s=timeout_s)
     return bundle.to_bytes()

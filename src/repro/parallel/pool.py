@@ -39,6 +39,20 @@ are assembled in submission order, so outputs — and therefore proof
 bytes — are **bit-identical at any worker count**, including the serial
 fallback taken when ``workers <= 1`` and the auto-chunk inline fallback.
 
+Dispatch is **supervised** (see :class:`FaultPolicy` and
+``docs/ROBUSTNESS.md``): worker death, hung dispatches, and in-task
+exceptions are detected by :meth:`ProverPool._supervised_map`, which
+restarts the executor with capped exponential backoff and retries the
+failed chunks.  When the retry budget is exhausted the kernel entry
+points *degrade* — they rerun the whole call on the in-process serial
+path, which is bit-identical, so a crashing worker fleet costs latency
+but never correctness.  Deadlines (:mod:`repro.parallel.deadline`) are
+the one thing degradation never overrides: an expired budget raises
+:class:`~repro.errors.ProverTimeoutError` and stops the engine.
+Orphaned shared-memory segments left by SIGKILLed former selves are
+reclaimed by a janitor sweep (:func:`repro.parallel.shm.reclaim_orphans`)
+every time an executor is (re)built.
+
 When the parent is tracing (:func:`repro.obs.tracing`), each chunk runs
 under a worker-local tracer; its spans and counter deltas are shipped
 back with the result and merged into the parent tracer, where the worker
@@ -49,16 +63,22 @@ from __future__ import annotations
 
 import atexit
 import os
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs
+from ..errors import ProverTimeoutError, WorkerCrashError
 from ..hashing import fieldhash
 from ..obs.metrics import METRICS as _METRICS
 from . import kernels, shm
+from .deadline import check_deadline
+from .deadline import remaining as _deadline_remaining
 
 #: Smallest per-chunk work units below which fan-out overhead (descriptor
 #: dispatch, attach) exceeds the kernel time; chunks never shrink below
@@ -89,6 +109,34 @@ EST_LAYER_S_PER_NODE = 1.2e-6     # per Merkle combine output node
 STREAM_TILE_ROWS = 16
 #: Ring slots reused across tiles (allocate-once, stream-forever).
 STREAM_RING_SLOTS = 2
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the pool supervisor reacts to worker failures.
+
+    ``max_retries`` bounds how many times a failed chunk batch is
+    resubmitted (each broken-executor round costs one restart with
+    ``min(backoff_cap_s, backoff_base_s * 2**attempt)`` of backoff)
+    before the failure escalates as
+    :class:`~repro.errors.WorkerCrashError` and the kernel wrappers
+    degrade to serial.  ``dispatch_timeout_s`` is the stall watchdog: if
+    *nothing* completes for that long the outstanding workers are
+    presumed hung and killed.  It is deliberately generous — any single
+    completion resets the clock, so a slow-but-progressing batch is
+    never shot — and the per-job/per-call deadline
+    (:mod:`repro.parallel.deadline`) clamps every wait anyway.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    dispatch_timeout_s: float = 600.0
+
+
+#: Default supervision policy shared by every pool that does not ask for
+#: a custom one.
+DEFAULT_FAULT_POLICY = FaultPolicy()
 
 
 def _worker_init(root_sizes: Tuple[int, ...]) -> None:
@@ -138,11 +186,14 @@ class ProverPool:
     def __init__(self, workers: Optional[int] = None,
                  start_method: Optional[str] = None,
                  warm_root_sizes: Tuple[int, ...] = (1 << 10, 1 << 12),
-                 auto_chunk: bool = True):
+                 auto_chunk: bool = True,
+                 fault_policy: Optional[FaultPolicy] = None):
         if workers is None:
             workers = os.cpu_count() or 1
         self.workers = max(1, int(workers))
         self.auto_chunk = auto_chunk
+        self.fault_policy = (fault_policy if fault_policy is not None
+                             else DEFAULT_FAULT_POLICY)
         self._start_method = start_method
         self._warm_root_sizes = tuple(warm_root_sizes)
         self._executor: Optional[ProcessPoolExecutor] = None
@@ -201,12 +252,54 @@ class ProverPool:
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
+            # Sweep segments orphaned by SIGKILLed predecessors before
+            # starting workers, so a crash-looping service cannot leak
+            # /dev/shm to exhaustion across its own restarts.
+            shm.reclaim_orphans()
             self._executor = ProcessPoolExecutor(
                 max_workers=self.workers,
                 mp_context=self._mp_context(),
                 initializer=_worker_init,
                 initargs=(self._warm_root_sizes,))
         return self._executor
+
+    def _kill_executor(self) -> None:
+        """Tear the executor down *hard* (SIGKILL), tolerating any state.
+
+        Used by the supervisor when workers are dead or presumed hung —
+        a graceful ``shutdown(wait=True)`` would block forever on a
+        stalled worker.  The arena (and any broadcast blobs in it) is
+        deliberately preserved: in-flight descriptors must stay valid so
+        the retry path can resubmit the same chunks.
+        """
+        ex, self._executor = self._executor, None
+        if ex is None:
+            return
+        procs = list((getattr(ex, "_processes", None) or {}).values())
+        for proc in procs:
+            try:
+                proc.kill()
+            except (OSError, ValueError, AttributeError):
+                pass
+        try:
+            ex.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - executor may be broken mid-way
+            pass
+        for proc in procs:
+            try:
+                proc.join(timeout=1.0)
+            except (OSError, ValueError, AssertionError):
+                pass
+
+    def _restart_workers(self, attempt: int) -> None:
+        """Replace a broken/hung executor, backing off exponentially."""
+        self._kill_executor()
+        delay = min(self.fault_policy.backoff_cap_s,
+                    self.fault_policy.backoff_base_s * (2 ** attempt))
+        if delay > 0:
+            time.sleep(delay)
+        _METRICS.inc("parallel.worker_restarts")
+        self._ensure_executor()
 
     def arena(self) -> shm.ShmArena:
         """The pool-owned shared-memory arena (created on first use)."""
@@ -304,7 +397,8 @@ class ProverPool:
         return self.chunk_ranges(n, per_chunk)
 
     # -- generic fan-out ---------------------------------------------------
-    def run(self, fn: Callable, tasks: Sequence[tuple]) -> List:
+    def run(self, fn: Callable, tasks: Sequence[tuple],
+            return_exceptions: bool = False) -> List:
         """Execute ``fn(*task)`` for every task, returning results in
         submission order.
 
@@ -312,22 +406,169 @@ class ProverPool:
         execute inline so the active tracer and metrics registry see the
         work directly.  Parallel execution ships each chunk's worker-side
         spans/counters back and merges them into the active tracer.
+
+        Dispatch is supervised (worker death, stalls, and in-task
+        exceptions are retried under :attr:`fault_policy`); a failure
+        that survives the retry budget raises
+        :class:`~repro.errors.WorkerCrashError` — or, with
+        ``return_exceptions=True``, is returned *positionally* as the
+        exception object so batch callers can report per-task outcomes.
         """
+        check_deadline("parallel.run")
         if self.is_serial or len(tasks) <= 1:
-            return [fn(*task) for task in tasks]
+            if not return_exceptions:
+                return [fn(*task) for task in tasks]
+            results = []
+            for task in tasks:
+                try:
+                    results.append(fn(*task))
+                except Exception as exc:  # noqa: BLE001 - reported per task
+                    results.append(exc)
+            return results
         trace = obs.get_tracer() is not None
         payloads = [(fn, task, trace) for task in tasks]
         _METRICS.inc("parallel.dispatches", len(tasks))
-        outs = list(self._ensure_executor().map(_call_task, payloads))
+        outs = self._supervised_map(payloads,
+                                    return_exceptions=return_exceptions)
         tracer = obs.get_tracer()
         results = []
-        for result, meta in outs:
+        for out in outs:
+            if isinstance(out, BaseException):
+                results.append(out)
+                continue
+            result, meta = out
             if meta is not None and tracer is not None:
                 worker_pid, records, counters, t0_abs = meta
                 tracer.absorb_worker(worker_pid, records, counters,
                                      start_abs=t0_abs)
             results.append(result)
         return results
+
+    def _supervised_map(self, payloads: Sequence, *,
+                        return_exceptions: bool = False) -> List:
+        """Submit every payload and shepherd the batch to completion.
+
+        The loop distinguishes three failure classes:
+
+        * **broken executor** (a worker died — SIGKILL, OOM, segfault):
+          every in-flight future fails with ``BrokenProcessPool``; the
+          executor is killed, rebuilt after backoff, and the lost chunks
+          are resubmitted.
+        * **stall**: nothing at all completes within
+          ``fault_policy.dispatch_timeout_s`` (any single completion
+          resets the watchdog).  The outstanding workers are presumed
+          hung, killed, and the chunks retried on a fresh fleet.
+        * **in-task exception**: the chunk itself raised.  Retried
+          without a restart (transient faults — and the chaos harness's
+          injected ones — fire once); a *persistent* exception exhausts
+          the retry budget and escalates.
+
+        Escalation wraps the last underlying failure in
+        :class:`~repro.errors.WorkerCrashError` so kernel wrappers can
+        catch one type and degrade to serial.  An active deadline clamps
+        every wait; expiry kills the executor (abandoned chunks must not
+        linger) and raises :class:`~repro.errors.ProverTimeoutError`.
+        """
+        policy = self.fault_policy
+        n = len(payloads)
+        results: List = [None] * n
+        last_exc: List[Optional[BaseException]] = [None] * n
+        failed = list(range(n))
+        for attempt in range(policy.max_retries + 1):
+            if attempt:
+                _METRICS.inc("parallel.retries", len(failed))
+            ex = self._ensure_executor()
+            try:
+                pending = {ex.submit(_call_task, payloads[i]): i
+                           for i in failed}
+            except (BrokenExecutor, RuntimeError) as exc:
+                # Executor broke between creation and submit.
+                for i in failed:
+                    last_exc[i] = exc
+                self._restart_workers(attempt)
+                continue
+            failed = []
+            broken = False
+            while pending:
+                timeout = policy.dispatch_timeout_s
+                rem = _deadline_remaining()
+                if rem is not None:
+                    timeout = min(timeout, max(0.0, rem))
+                done, _ = wait(pending, timeout=timeout,
+                               return_when=FIRST_COMPLETED)
+                if not done:
+                    try:
+                        check_deadline("parallel.dispatch")
+                    except ProverTimeoutError:
+                        self._kill_executor()
+                        raise
+                    # A genuine stall: nothing finished inside the
+                    # watchdog window.  Presume the workers hung.
+                    _METRICS.inc("parallel.dispatch_stalls")
+                    for fut, i in pending.items():
+                        fut.cancel()
+                        failed.append(i)
+                    broken = True
+                    break
+                for fut in done:
+                    i = pending.pop(fut)
+                    try:
+                        results[i] = fut.result()
+                    except BrokenExecutor as exc:
+                        broken = True
+                        last_exc[i] = exc
+                        failed.append(i)
+                    except (shm.ShmError, pickle.PickleError) as exc:
+                        # Deterministic data-path damage (torn segment,
+                        # poisoned blob): retrying replays the failure,
+                        # so fail fast and let the caller degrade.
+                        last_exc[i] = exc
+                        failed.append(i)
+                        if not return_exceptions:
+                            for f in pending:
+                                f.cancel()
+                            raise WorkerCrashError(
+                                "parallel dispatch hit unrecoverable "
+                                "data corruption",
+                                retries=attempt, cause=exc)
+                    except Exception as exc:  # noqa: BLE001 - retried
+                        last_exc[i] = exc
+                        failed.append(i)
+            if not failed:
+                return results
+            failed = sorted(set(failed))
+            # Data-corruption failures under return_exceptions skip the
+            # retry loop too: replaying them cannot change the outcome.
+            if return_exceptions and all(
+                    isinstance(last_exc[i],
+                               (shm.ShmError, pickle.PickleError))
+                    for i in failed):
+                break
+            if broken:
+                if attempt < policy.max_retries:
+                    self._restart_workers(attempt)
+                else:
+                    # Out of retries: still never hand a hung/broken
+                    # executor to the next caller.
+                    self._kill_executor()
+        for i in failed:
+            exc = last_exc[i]
+            if not isinstance(exc, (shm.ShmError, pickle.PickleError)):
+                exc = WorkerCrashError(
+                    "parallel task failed despite supervision"
+                    if exc is not None else
+                    "parallel task lost to worker crash or stall",
+                    retries=policy.max_retries, cause=exc)
+            if not return_exceptions:
+                raise exc
+            results[i] = exc
+        return results
+
+    def _degraded(self, kernel: str, exc: BaseException) -> None:
+        """Account one graceful degradation to the in-process serial path
+        (the serial rerun is bit-identical, so this costs latency only)."""
+        _METRICS.inc("parallel.degradations")
+        _METRICS.inc(f"parallel.degradations.{kernel}")
 
     # -- broadcast (amortized keygen) --------------------------------------
     def broadcast(self, obj) -> Tuple[str, shm.BlobDesc]:
@@ -345,10 +586,20 @@ class ProverPool:
         if hit is not None and hit[0] is obj:
             return hit[1], hit[2]
         desc = self.arena().share_pickle(obj)
+        kernels._maybe_fault("broadcast", desc=desc)
         token = desc.name
         self._broadcasts[key] = (obj, token, desc)
         _METRICS.inc("parallel.broadcasts")
         return token, desc
+
+    def drop_broadcast(self, obj) -> None:
+        """Evict one object's cached broadcast blob (and free its
+        segment).  Called when workers report the blob unreadable —
+        poisoned or torn — so the next batch re-broadcasts a clean copy
+        instead of replaying the corruption forever."""
+        entry = self._broadcasts.pop(id(obj), None)
+        if entry is not None and self._arena is not None:
+            self._arena.free(entry[2])
 
     # -- kernel-specific entry points --------------------------------------
     def encode_rows(self, code, matrix: np.ndarray) -> np.ndarray:
@@ -369,23 +620,29 @@ class ProverPool:
             MIN_ENCODE_ROWS_PER_CHUNK)
         if ranges is None:
             return code.encode_rows(matrix)
-        if not self.use_shm:
-            _METRICS.inc("parallel.bytes_pickled",
-                         matrix.nbytes + code.blowup * matrix.nbytes)
-            parts = self.run(kernels.encode_chunk,
-                             [(code, matrix[lo:hi]) for lo, hi in ranges])
-            return np.vstack(parts)
-        arena = self.arena()
-        in_desc = arena.share_array(matrix)
-        out_desc = arena.alloc_array(
-            (rows, code.codeword_length(matrix.shape[1])), "uint64")
         try:
-            self.run(kernels.encode_chunk_shm,
-                     [(code, in_desc, out_desc, lo, hi) for lo, hi in ranges])
-            return np.array(arena.view(out_desc))
-        finally:
-            arena.free(in_desc)
-            arena.free(out_desc)
+            if not self.use_shm:
+                _METRICS.inc("parallel.bytes_pickled",
+                             matrix.nbytes + code.blowup * matrix.nbytes)
+                parts = self.run(kernels.encode_chunk,
+                                 [(code, matrix[lo:hi])
+                                  for lo, hi in ranges])
+                return np.vstack(parts)
+            arena = self.arena()
+            in_desc = arena.share_array(matrix)
+            out_desc = arena.alloc_array(
+                (rows, code.codeword_length(matrix.shape[1])), "uint64")
+            try:
+                self.run(kernels.encode_chunk_shm,
+                         [(code, in_desc, out_desc, lo, hi)
+                          for lo, hi in ranges])
+                return np.array(arena.view(out_desc))
+            finally:
+                arena.free(in_desc)
+                arena.free(out_desc)
+        except (WorkerCrashError, shm.ShmError) as exc:
+            self._degraded("rs_encode", exc)
+            return code.encode_rows(matrix)
 
     def hash_columns(self, matrix: np.ndarray) -> List[bytes]:
         """Merkle leaf digests of every matrix column, chunked by column."""
@@ -398,24 +655,29 @@ class ProverPool:
             MIN_HASH_COLS_PER_CHUNK)
         if ranges is None:
             return fieldhash.hash_columns(matrix)
-        if not self.use_shm:
-            _METRICS.inc("parallel.bytes_pickled", matrix.nbytes)
-            parts = self.run(kernels.hash_columns_chunk,
-                             [(np.ascontiguousarray(matrix[:, lo:hi]),)
-                              for lo, hi in ranges])
-            return [d for part in parts for d in part]
-        arena = self.arena()
-        in_desc = arena.share_array(matrix)
-        out_desc = arena.alloc_array((cols, fieldhash.DIGEST_BYTES), "uint8")
         try:
-            self.run(kernels.hash_columns_chunk_shm,
-                     [(in_desc, out_desc, lo, hi) for lo, hi in ranges])
-            raw = arena.view(out_desc).tobytes()
-        finally:
-            arena.free(in_desc)
-            arena.free(out_desc)
-        return [raw[i : i + fieldhash.DIGEST_BYTES]
-                for i in range(0, len(raw), fieldhash.DIGEST_BYTES)]
+            if not self.use_shm:
+                _METRICS.inc("parallel.bytes_pickled", matrix.nbytes)
+                parts = self.run(kernels.hash_columns_chunk,
+                                 [(np.ascontiguousarray(matrix[:, lo:hi]),)
+                                  for lo, hi in ranges])
+                return [d for part in parts for d in part]
+            arena = self.arena()
+            in_desc = arena.share_array(matrix)
+            out_desc = arena.alloc_array((cols, fieldhash.DIGEST_BYTES),
+                                         "uint8")
+            try:
+                self.run(kernels.hash_columns_chunk_shm,
+                         [(in_desc, out_desc, lo, hi) for lo, hi in ranges])
+                raw = arena.view(out_desc).tobytes()
+            finally:
+                arena.free(in_desc)
+                arena.free(out_desc)
+            return [raw[i : i + fieldhash.DIGEST_BYTES]
+                    for i in range(0, len(raw), fieldhash.DIGEST_BYTES)]
+        except (WorkerCrashError, shm.ShmError) as exc:
+            self._degraded("merkle_leaves", exc)
+            return fieldhash.hash_columns(matrix)
 
     def hash_layer(self, raw: bytes) -> Optional[bytes]:
         """One Merkle layer combine step, chunked by output-node range.
@@ -432,22 +694,28 @@ class ProverPool:
         if ranges is None:
             return None
         pair = 2 * fieldhash.DIGEST_BYTES
-        if not self.use_shm:
-            _METRICS.inc("parallel.bytes_pickled", len(raw) * 3 // 2)
-            parts = self.run(kernels.hash_layer_chunk,
-                             [(raw[lo * pair : hi * pair],)
-                              for lo, hi in ranges])
-            return b"".join(parts)
-        arena = self.arena()
-        in_desc = arena.share_array(np.frombuffer(raw, dtype=np.uint8))
-        out_desc = arena.alloc_array((len(raw) // 2,), "uint8")
         try:
-            self.run(kernels.hash_layer_chunk_shm,
-                     [(in_desc, out_desc, lo, hi) for lo, hi in ranges])
-            return arena.view(out_desc).tobytes()
-        finally:
-            arena.free(in_desc)
-            arena.free(out_desc)
+            if not self.use_shm:
+                _METRICS.inc("parallel.bytes_pickled", len(raw) * 3 // 2)
+                parts = self.run(kernels.hash_layer_chunk,
+                                 [(raw[lo * pair : hi * pair],)
+                                  for lo, hi in ranges])
+                return b"".join(parts)
+            arena = self.arena()
+            in_desc = arena.share_array(np.frombuffer(raw, dtype=np.uint8))
+            out_desc = arena.alloc_array((len(raw) // 2,), "uint8")
+            try:
+                self.run(kernels.hash_layer_chunk_shm,
+                         [(in_desc, out_desc, lo, hi) for lo, hi in ranges])
+                return arena.view(out_desc).tobytes()
+            finally:
+                arena.free(in_desc)
+                arena.free(out_desc)
+        except (WorkerCrashError, shm.ShmError) as exc:
+            # None = "caller's serial loop handles this layer" — the
+            # same degradation contract the size threshold already uses.
+            self._degraded("merkle_layer", exc)
+            return None
 
     # -- streaming commit pipeline -----------------------------------------
     def stream_encode_hash(self, code, matrix: np.ndarray,
@@ -479,40 +747,52 @@ class ProverPool:
                 hi = min(rows, lo + tile_rows)
                 chains.update(code.encode_rows(matrix[lo:hi]))
             return chains.finalize()
-        self.warm()
-        arena = self.arena()
-        slots = [arena.alloc_array((tile_rows, cw_len), "uint64")
-                 for _ in range(STREAM_RING_SLOTS)]
-        state_desc = arena.alloc_array((cw_len, fieldhash.DIGEST_BYTES),
-                                       "uint8")
         try:
-            col_ranges = self.chunk_ranges(cw_len, MIN_HASH_COLS_PER_CHUNK)
-            for t, lo in enumerate(range(0, rows, tile_rows)):
+            self.warm()
+            arena = self.arena()
+            slots = [arena.alloc_array((tile_rows, cw_len), "uint64")
+                     for _ in range(STREAM_RING_SLOTS)]
+            state_desc = arena.alloc_array((cw_len, fieldhash.DIGEST_BYTES),
+                                           "uint8")
+            try:
+                col_ranges = self.chunk_ranges(cw_len,
+                                               MIN_HASH_COLS_PER_CHUNK)
+                for t, lo in enumerate(range(0, rows, tile_rows)):
+                    hi = min(rows, lo + tile_rows)
+                    slot = slots[t % STREAM_RING_SLOTS]
+                    # Encode the tile's rows into the ring slot...
+                    row_ranges = self.chunk_ranges(hi - lo,
+                                                   MIN_ENCODE_ROWS_PER_CHUNK)
+                    in_desc = arena.share_array(matrix[lo:hi])
+                    try:
+                        self.run(kernels.encode_chunk_shm,
+                                 [(code, in_desc, slot, rlo, rhi)
+                                  for rlo, rhi in row_ranges])
+                    finally:
+                        arena.free(in_desc)
+                    # ...and fold it into the shared chain state by columns.
+                    self.run(kernels.fold_chunk_shm,
+                             [(slot, state_desc, clo, chi, hi - lo,
+                               chains.words_done) for clo, chi in col_ranges])
+                    chains.state[...] = arena.view(state_desc)
+                    chains.rows_fed += hi - lo
+                    chains.words_done += -(-(hi - lo)
+                                           // fieldhash.ELEMENTS_PER_WORD)
+                return chains.finalize()
+            finally:
+                for slot in slots:
+                    arena.free(slot)
+                arena.free(state_desc)
+        except (WorkerCrashError, shm.ShmError) as exc:
+            # A chain fold may have been half-applied when the fleet
+            # died, so the partial state is unusable: restart from a
+            # fresh hasher and run the identical tile loop in-process.
+            self._degraded("stream_commit", exc)
+            chains = fieldhash.ColumnChainHasher(cw_len, rows)
+            for lo in range(0, rows, tile_rows):
                 hi = min(rows, lo + tile_rows)
-                slot = slots[t % STREAM_RING_SLOTS]
-                # Encode the tile's rows into the ring slot...
-                row_ranges = self.chunk_ranges(hi - lo,
-                                               MIN_ENCODE_ROWS_PER_CHUNK)
-                in_desc = arena.share_array(matrix[lo:hi])
-                try:
-                    self.run(kernels.encode_chunk_shm,
-                             [(code, in_desc, slot, rlo, rhi)
-                              for rlo, rhi in row_ranges])
-                finally:
-                    arena.free(in_desc)
-                # ...and fold it into the shared chain state by columns.
-                self.run(kernels.fold_chunk_shm,
-                         [(slot, state_desc, clo, chi, hi - lo,
-                           chains.words_done) for clo, chi in col_ranges])
-                chains.state[...] = arena.view(state_desc)
-                chains.rows_fed += hi - lo
-                chains.words_done += -(-(hi - lo)
-                                       // fieldhash.ELEMENTS_PER_WORD)
+                chains.update(code.encode_rows(matrix[lo:hi]))
             return chains.finalize()
-        finally:
-            for slot in slots:
-                arena.free(slot)
-            arena.free(state_desc)
 
 
 # ---------------------------------------------------------------------------

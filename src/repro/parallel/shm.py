@@ -30,11 +30,12 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
+import re
 import signal
 import weakref
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -237,16 +238,32 @@ class ShmArena:
             raise ShmError(f"segment {desc.name!r} is not owned by this arena")
         return np.ndarray(desc.shape, dtype=desc.dtype, buffer=shm.buf)
 
+    @staticmethod
+    def _release(shm) -> None:
+        """Close and unlink one SharedMemory handle, tolerating every
+        already-gone / already-closed state (idempotent by construction:
+        a segment is released at most once because callers *pop* it out
+        of ``_segments`` first, and the unlink itself swallows
+        ``FileNotFoundError`` in case an external janitor or a racing
+        cleanup chain got there before us)."""
+        try:
+            shm.close()
+        except (BufferError, OSError):  # pragma: no cover - exotic states
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except OSError:  # pragma: no cover - platform-specific teardown
+            pass
+
     def free(self, desc) -> None:
-        """Close and unlink one segment before the arena itself closes."""
+        """Close and unlink one segment before the arena itself closes
+        (idempotent: freeing a descriptor twice is a no-op)."""
         shm = self._segments.pop(desc.name, None)
         if shm is None:
             return
-        shm.close()
-        try:
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already gone
-            pass
+        self._release(shm)
         _METRICS.gauge("parallel.shm_in_use_bytes", self.bytes_in_use)
 
     @property
@@ -259,12 +276,24 @@ class ShmArena:
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Close and unlink every owned segment (idempotent)."""
-        if self._closed:
-            return
+        """Close and unlink every owned segment.
+
+        Idempotent AND reentrancy-safe: segments are *popped* out of the
+        ownership dict before being released, so when the cleanup chain
+        fires twice — explicit ``shutdown()`` plus the ``atexit`` hook,
+        or a SIGTERM handler interrupting a close already in progress —
+        the second pass sees an empty dict and each segment is unlinked
+        exactly once.  (The old early-return-on-closed guard could skip
+        the *rest* of the segments when a signal landed mid-loop.)
+        """
+        while self._segments:
+            try:
+                _, shm = self._segments.popitem()
+            except KeyError:  # pragma: no cover - lost a race to a reentry
+                break
+            self._release(shm)
         self._closed = True
-        for name in list(self._segments):
-            self.free(ArrayDesc(name, (), "uint8"))
+        _METRICS.gauge("parallel.shm_in_use_bytes", 0)
         _LIVE_ARENAS.discard(self)
 
     def __enter__(self) -> "ShmArena":
@@ -322,3 +351,78 @@ def read_blob(desc: BlobDesc) -> bytes:
 
 def read_pickle(desc: BlobDesc):
     return pickle.loads(read_blob(desc))
+
+
+# ---------------------------------------------------------------------------
+# The janitor: reclaiming orphaned segments
+# ---------------------------------------------------------------------------
+#
+# The cleanup chain above (close / atexit / SIGTERM) covers every exit a
+# Python handler can observe — but SIGKILL, a hard OOM kill, or a power
+# cut leave named ``repro*`` segments behind in /dev/shm, silently eating
+# host memory until reboot.  Arena names embed the owning pid
+# (``<prefix>_<pid>_<counter>``), so orphans are detectable: a segment
+# whose owner is no longer alive belongs to nobody and can be unlinked.
+# The janitor runs on pool startup and via ``repro doctor``.
+
+#: Segment names owned by this module: prefix, owner pid, counter.
+_SEGMENT_NAME_RE = re.compile(r"^repro[A-Za-z0-9_.]*?_(\d+)_\d+$")
+
+#: Where POSIX named segments live on Linux (the only platform where the
+#: janitor can enumerate them; elsewhere scan/reclaim return empty).
+SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    """True when ``pid`` names a live process we can see."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists, owned by someone else
+        return True
+    except OSError:  # pragma: no cover - conservative: assume alive
+        return True
+    return True
+
+
+def segment_owner_pid(name: str) -> Optional[int]:
+    """The pid embedded in a repro segment name, or None if the name is
+    not ours (never touch segments other software owns)."""
+    m = _SEGMENT_NAME_RE.match(name)
+    return int(m.group(1)) if m else None
+
+
+def scan_orphans(shm_dir: str = SHM_DIR) -> List[str]:
+    """Names of repro-owned segments whose owning process is dead."""
+    try:
+        names = os.listdir(shm_dir)
+    except OSError:  # non-Linux or no tmpfs: nothing to scan
+        return []
+    orphans = []
+    for name in sorted(names):
+        pid = segment_owner_pid(name)
+        if pid is not None and pid != os.getpid() and not _pid_alive(pid):
+            orphans.append(name)
+    return orphans
+
+
+def reclaim_orphans(shm_dir: str = SHM_DIR) -> List[str]:
+    """Unlink every orphaned repro segment; returns the reclaimed names.
+
+    Unlink races are expected (two pools starting at once, a doctor run
+    next to a pool): ``FileNotFoundError`` means someone else already
+    reclaimed it, which is success, not failure.
+    """
+    reclaimed = []
+    for name in scan_orphans(shm_dir):
+        try:
+            os.unlink(os.path.join(shm_dir, name))
+        except FileNotFoundError:
+            continue  # lost the race: already reclaimed
+        except OSError:  # pragma: no cover - permissions of foreign user
+            continue
+        reclaimed.append(name)
+    if reclaimed:
+        _METRICS.inc("parallel.janitor_reclaimed", len(reclaimed))
+    return reclaimed

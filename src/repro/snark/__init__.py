@@ -8,6 +8,7 @@ are deprecated shims over the same machinery.
 """
 
 from .api import (
+    JobResult,
     ProofBundle,
     ProvingKey,
     Snark,
@@ -22,6 +23,7 @@ from .params import PAPER, PRESETS, TEST, SecurityPreset, preset_by_name
 from .serialize import proof_from_bytes, proof_to_bytes
 
 __all__ = [
+    "JobResult",
     "ProofBundle",
     "ProvingKey",
     "VerifyingKey",

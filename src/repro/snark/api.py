@@ -38,9 +38,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ReproError, VerificationError
+from ..errors import ProverTimeoutError, ReproError, VerificationError
 from ..hashing.transcript import Transcript
 from ..obs import span as _span
+from ..parallel.deadline import deadline_scope
 from ..r1cs.builder import Circuit
 from ..r1cs.system import R1CS
 from ..spartan.protocol import SpartanProof, SpartanProver, SpartanVerifier
@@ -129,7 +130,8 @@ def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
           rng: Optional[np.random.Generator] = None,
           seed: Optional[int] = None,
           pool=None, workers: Optional[int] = None,
-          circuit_id: str = "") -> ProofBundle:
+          circuit_id: str = "",
+          timeout_s: Optional[float] = None) -> ProofBundle:
     """Generate a proof that ``witness`` satisfies ``pk.r1cs`` on ``public``.
 
     Randomness: the zk-mask draws from ``rng`` (or a generator seeded
@@ -142,6 +144,12 @@ def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
     calls, torn down by :func:`repro.parallel.shutdown` or atexit).
     ``workers<=1`` — the default — is the exact serial path; proof bytes
     are identical either way.
+
+    ``timeout_s`` bounds the call with a cooperative deadline
+    (:mod:`repro.parallel.deadline`): once the budget is spent, the next
+    phase boundary or dispatch wait raises
+    :class:`~repro.errors.ProverTimeoutError`.  Deadlines nest — inside
+    an enclosing scope the effective budget is the tighter of the two.
     """
     if rng is None:
         rng = np.random.default_rng(seed)
@@ -149,22 +157,39 @@ def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
         from ..parallel import get_pool
 
         pool = get_pool(workers)
-    prover = pk.prover(rng=rng, pool=pool)
-    with _span("snark.prove", "other",
-               constraints=pk.r1cs.shape.num_constraints,
-               repetitions=pk.preset.sumcheck_repetitions,
-               workers=getattr(pool, "workers", 1)):
-        proof = prover.prove(public, witness, Transcript())
+    with deadline_scope(timeout_s, label="prove"):
+        prover = pk.prover(rng=rng, pool=pool)
+        with _span("snark.prove", "other",
+                   constraints=pk.r1cs.shape.num_constraints,
+                   repetitions=pk.preset.sumcheck_repetitions,
+                   workers=getattr(pool, "workers", 1)):
+            proof = prover.prove(public, witness, Transcript())
     return ProofBundle(proof=proof,
                        public=np.asarray(public, dtype=np.uint64),
                        preset_name=pk.preset.name,
                        circuit_id=circuit_id)
 
 
+@dataclass
+class JobResult:
+    """Outcome of one :func:`prove_many` job under ``on_error="return"``.
+
+    Exactly one of ``bundle`` (``ok=True``) and ``error`` (``ok=False``)
+    is set; ``error`` is the typed exception the job ended with after
+    every recovery path (retry, serial degradation) was exhausted.
+    """
+
+    ok: bool
+    bundle: Optional[ProofBundle] = None
+    error: Optional[BaseException] = None
+
+
 def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
                *, workers: Optional[int] = None, pool=None,
                base_seed: Optional[int] = None,
-               circuit_id: str = "") -> List[ProofBundle]:
+               circuit_id: str = "",
+               timeout_s: Optional[float] = None,
+               on_error: str = "raise"):
     """Prove a batch of independent ``(public, witness)`` jobs.
 
     Jobs share nothing, so each runs end to end on one worker process
@@ -186,26 +211,66 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
     Fan-out is skipped when it cannot pay — no pool, one job, or a
     single-core host where CPU-bound jobs would only time-slice
     (``ProverPool.job_fanout_pays``); the batch then runs the identical
-    serial path inline.
+    serial path inline.  An *explicit* ``workers`` of 0 or 1 (with no
+    ``pool``) short-circuits straight to that serial path without
+    touching the process-wide pool at all — no worker spawn, no
+    dispatch-cost probe.
+
+    Fault handling: jobs that fail on workers (crash, torn shared
+    memory, a poisoned broadcast blob) are retried *serially in this
+    process* — the parent holds the pristine ``pk``, so even broadcast
+    corruption recovers, and the retried bytes are bit-identical because
+    the job's seed is unchanged.  ``timeout_s`` is a per-job cooperative
+    budget (:class:`~repro.errors.ProverTimeoutError`; never retried).
+    ``on_error`` selects the failure contract: ``"raise"`` (default)
+    re-raises the first unrecovered error, all-or-nothing;
+    ``"return"`` yields a :class:`JobResult` per job so one poisoned
+    statement cannot sink a batch.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError(f"on_error must be 'raise' or 'return', "
+                         f"got {on_error!r}")
     jobs = list(jobs)
     if not jobs:
         return []
-    from ..parallel import get_pool, kernels
     from ..obs.metrics import METRICS
+    from ..parallel import kernels
 
     seeds = np.random.SeedSequence(base_seed).spawn(len(jobs))
     pubs = [np.asarray(pub, dtype=np.uint64) for pub, _ in jobs]
     wits = [np.asarray(wit, dtype=np.uint64) for _, wit in jobs]
-    if pool is None:
+
+    def _serial_job(j):
+        return ProofBundle.from_bytes(
+            kernels.prove_job(pk.r1cs, pk.preset, pubs[j], wits[j],
+                              seeds[j], circuit_id, timeout_s=timeout_s))
+
+    def _finish(outcomes):
+        if on_error == "return":
+            return [out if isinstance(out, JobResult)
+                    else JobResult(ok=True, bundle=out) for out in outcomes]
+        for out in outcomes:
+            if isinstance(out, JobResult) and not out.ok:
+                raise out.error
+        return list(outcomes)
+
+    explicit_serial = (pool is None and workers is not None and workers <= 1)
+    if pool is None and not explicit_serial:
+        from ..parallel import get_pool
+
         pool = get_pool(workers)
     if (pool is None or pool.is_serial or len(jobs) == 1
             or not pool.job_fanout_pays):
+        outcomes = []
         with _span("snark.prove_many", "other", jobs=len(jobs), workers=1):
-            blobs = [kernels.prove_job(pk.r1cs, pk.preset, pub, wit, seed,
-                                       circuit_id)
-                     for pub, wit, seed in zip(pubs, wits, seeds)]
-        return [ProofBundle.from_bytes(blob) for blob in blobs]
+            for j in range(len(jobs)):
+                try:
+                    outcomes.append(_serial_job(j))
+                except Exception as exc:  # noqa: BLE001 - per-job contract
+                    if on_error == "raise":
+                        raise
+                    outcomes.append(JobResult(ok=False, error=exc))
+        return _finish(outcomes)
     with _span("snark.prove_many", "other", jobs=len(jobs),
                workers=pool.workers):
         if pool.use_shm:
@@ -215,20 +280,47 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
             wit_desc = arena.share_array(np.stack(wits))
             try:
                 tasks = [(token, blob_desc, pub_desc, wit_desc, j, seed,
-                          circuit_id) for j, seed in enumerate(seeds)]
-                blobs = pool.run(kernels.prove_job_shm, tasks)
+                          circuit_id, timeout_s)
+                         for j, seed in enumerate(seeds)]
+                blobs = pool.run(kernels.prove_job_shm, tasks,
+                                 return_exceptions=True)
             finally:
                 arena.free(pub_desc)
                 arena.free(wit_desc)
         else:
-            tasks = [(pk.r1cs, pk.preset, pub, wit, seed, circuit_id)
+            tasks = [(pk.r1cs, pk.preset, pub, wit, seed, circuit_id,
+                      timeout_s)
                      for pub, wit, seed in zip(pubs, wits, seeds)]
             import pickle
 
             METRICS.inc("parallel.bytes_pickled",
                         len(jobs) * len(pickle.dumps(pk)))
-            blobs = pool.run(kernels.prove_job, tasks)
-    return [ProofBundle.from_bytes(blob) for blob in blobs]
+            blobs = pool.run(kernels.prove_job, tasks,
+                             return_exceptions=True)
+        outcomes = []
+        for j, blob in enumerate(blobs):
+            if not isinstance(blob, BaseException):
+                outcomes.append(ProofBundle.from_bytes(blob))
+                continue
+            if isinstance(blob, ProverTimeoutError):
+                # A spent budget is final: no retry can honor it.
+                if on_error == "raise":
+                    raise blob
+                outcomes.append(JobResult(ok=False, error=blob))
+                continue
+            # Worker-side failure: recover serially in the parent, which
+            # holds the pristine pk (immune to broadcast corruption).
+            # Drop the cached broadcast first so the *next* batch
+            # re-broadcasts a clean blob instead of replaying the damage.
+            pool.drop_broadcast(pk)
+            pool._degraded("prove_job", blob)
+            try:
+                outcomes.append(_serial_job(j))
+            except Exception as exc:  # noqa: BLE001 - per-job contract
+                if on_error == "raise":
+                    raise
+                outcomes.append(JobResult(ok=False, error=exc))
+    return _finish(outcomes)
 
 
 def verify(vk: VerifyingKey, bundle: ProofBundle) -> bool:

@@ -35,6 +35,7 @@ from ..multilinear.sumcheck import (
     verify_sumcheck_rounds,
 )
 from ..obs import span as _span
+from ..parallel.deadline import check_deadline
 from ..pcs.orion import OrionCommitment, OrionEvalProof, OrionPCS
 from ..r1cs.system import R1CS
 from .matrixeval import combined_matrix_eval
@@ -105,10 +106,16 @@ class SpartanProver:
         tr = transcript or Transcript()
         r1cs = self.r1cs
         log_n = r1cs.shape.log_size
+        # Cooperative cancellation (repro.parallel.deadline): the kernels
+        # are long uninterruptible numpy calls, so the deadline is checked
+        # at every phase boundary — witness assembly, SpMV, commit, each
+        # repetition's sumchecks and PCS opening.
+        check_deadline("spartan.witness")
         with _span("spartan.witness", "other", n=1 << log_n):
             z = r1cs.assemble_z(public, witness)
         # One SpMV pass serves both the satisfaction check and sumcheck #1
         # (is_satisfied would recompute all three products).
+        check_deadline("spartan.spmv")
         with _span("spartan.spmv", "spmv", n=1 << log_n):
             az, bz, cz = r1cs.products(z)
         if (fv.mul(az, bz) != cz).any():
@@ -116,11 +123,13 @@ class SpartanProver:
         pub_half, wit_half = r1cs.split_z(z)
 
         tr.absorb_array(b"spartan/public", np.asarray(public, dtype=np.uint64))
+        check_deadline("pcs.commit")
         commitment, state = self.pcs.commit(wit_half, pool=self.pool)
         tr.absorb_digest(b"spartan/witness-commitment", commitment.root)
         reps: List[RepetitionProof] = []
         for rep in range(self.params.repetitions):
             label = b"spartan/rep%d" % rep
+            check_deadline("spartan.rep%d" % rep)
             with _span("spartan.rep%d" % rep, "other", rep=rep):
                 tau = tr.challenge_fields(label + b"/tau", log_n)
                 # The eq(tau, .) factor is handled inside the sumcheck via
@@ -137,6 +146,7 @@ class SpartanProver:
 
                 # Fused (r_a*A + r_b*B + r_c*C)^T eq(rx): one stacked SpMV
                 # instead of three (equals combined_matrix_row on (A, B, C)).
+                check_deadline("spartan.matrix_combine")
                 with _span("spartan.matrix_combine", "spmv"):
                     m_row = r1cs.combined_transpose_matvec((r_a, r_b, r_c),
                                                            eq_table(rx))
@@ -145,6 +155,7 @@ class SpartanProver:
                                              claim=claim2)
 
                 # Open w~ at ry[1:] (ry[0] selects the witness half).
+                check_deadline("pcs.open")
                 w_point = ry[1:]
                 w_eval = mle_eval(wit_half, w_point)
                 tr.absorb_field(label + b"/w-eval", w_eval)

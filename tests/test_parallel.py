@@ -243,6 +243,50 @@ class TestShmRoundTrip:
                 with shm.attached(d):
                     pass
 
+    def test_free_twice_is_noop(self):
+        arena = shm.ShmArena()
+        desc = arena.share_array(np.ones(8, dtype=np.uint64))
+        arena.free(desc)
+        arena.free(desc)  # second free must be a silent no-op
+        assert arena.bytes_in_use == 0
+        arena.close()
+
+    def test_reentrant_close_releases_each_segment_once(self, monkeypatch):
+        """Regression: a SIGTERM cleanup chain firing while close() is
+        mid-loop must not skip segments or release one twice.  We model
+        the reentry by having the first release call close() again."""
+        before = _repro_segments()
+        arena = shm.ShmArena()
+        for _ in range(4):
+            arena.share_array(np.zeros(8, dtype=np.uint64))
+        released = []
+        original = shm.ShmArena._release
+
+        def reentrant(seg):
+            released.append(seg.name)
+            if len(released) == 1:  # the interrupting cleanup chain
+                arena.close()
+            original(seg)
+
+        monkeypatch.setattr(shm.ShmArena, "_release",
+                            staticmethod(reentrant))
+        arena.close()
+        assert arena.closed
+        assert len(released) == 4
+        assert len(set(released)) == 4, "a segment was released twice"
+        assert _repro_segments() == before
+
+    def test_pool_close_twice_and_shutdown_twice(self):
+        from repro.parallel import get_pool, shutdown
+
+        with ProverPool(workers=2, auto_chunk=False) as p:
+            p.warm()
+            p.close()  # __exit__ will close again: must be idempotent
+        p.close()
+        assert get_pool(2) is not None
+        shutdown()
+        shutdown()  # second process-wide teardown is a no-op
+
     def test_exception_inside_context_still_cleans_up(self):
         before = _repro_segments()
         with pytest.raises(RuntimeError, match="boom"):

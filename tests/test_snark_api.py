@@ -169,6 +169,23 @@ class TestEnvelope:
             with pytest.raises(DeserializationError):
                 ProofBundle.from_bytes(data[:cut])
 
+    def test_truncated_at_every_offset_reports_position(self, bundle):
+        """A bundle file cut short at ANY byte — a torn download, a full
+        disk — must fail with the typed error carrying the byte offset
+        where parsing stopped, never an IndexError/struct.error crash."""
+        data = bundle.to_bytes()
+        cuts = set(range(min(len(data), 64)))          # dense header sweep
+        cuts.update(range(64, len(data), 97))          # sampled body
+        cuts.add(len(data) - 1)
+        for cut in sorted(cuts):
+            with pytest.raises(DeserializationError) as ei:
+                ProofBundle.from_bytes(data[:cut])
+            assert ei.value.offset is not None, \
+                f"truncation at {cut} lost its byte offset"
+            assert 0 <= ei.value.offset <= cut, \
+                f"offset {ei.value.offset} points past the {cut}-byte input"
+            assert str(ei.value.offset) in str(ei.value)
+
     def test_trailing_garbage(self, bundle):
         with pytest.raises(DeserializationError):
             ProofBundle.from_bytes(bundle.to_bytes() + b"\x00")

@@ -28,6 +28,8 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.errors import ReproError
@@ -149,8 +151,14 @@ def main(argv=None) -> int:
 
     print(f"building {len(CIRCUITS)} circuits and baseline proofs ...")
     targets = {}
-    for name, build in CIRCUITS.items():
-        snark = Snark.from_circuit(build(), preset=TEST)
+    for idx, (name, build) in enumerate(CIRCUITS.items()):
+        # Seed the zk-mask generator from --seed too: the recorded seed
+        # then reproduces the *entire* run — baseline proof bytes
+        # included — not just the mutation choices.
+        snark = Snark.from_circuit(
+            build(), preset=TEST,
+            rng=np.random.default_rng(
+                np.random.SeedSequence([args.seed, idx])))
         bundle = snark.prove()
         data = proof_to_bytes(bundle.proof)
         # Baseline sanity: the honest proof must verify, including after a
