@@ -16,6 +16,11 @@ trace        Prove a workload under the tracer, simulate it on NoCap, and
              (see docs/OBSERVABILITY.md).
 doctor       Inspect /dev/shm for repro-owned shared-memory segments and
              reclaim orphans left by killed provers.
+metrics      Render the process metrics registry as OpenMetrics text
+             (counters, gauges, latency histograms).
+report       Dump the flight recorder's recent job reports and
+             supervision events (reads the in-memory ring, or a JSONL
+             spool written via ``prove --flight-log`` / REPRO_FLIGHT_LOG).
 """
 
 from __future__ import annotations
@@ -221,18 +226,22 @@ def _cmd_prove(args: argparse.Namespace) -> int:
     r1cs, public, witness = circuit.compile()
     pk, vk = setup(r1cs, preset)
     pool = _make_pool(args)
+    if args.flight_log:
+        from .obs import FLIGHT
+
+        FLIGHT.spool_to(args.flight_log)
 
     def run():
         t0 = time.perf_counter()
         bundle = prove(pk, public, witness, pool=pool, circuit_id=name,
-                       timeout_s=args.timeout)
+                       timeout_s=args.timeout, attach_report=True)
         t1 = time.perf_counter()
         ok = verify(vk, bundle)
         t2 = time.perf_counter()
         return bundle, ok, t0, t1, t2
 
     tracer = None
-    if args.trace or args.trace_out or args.metrics:
+    if args.trace or args.trace_out or args.metrics or args.metrics_out:
         from . import obs
 
         with obs.tracing() as tracer:
@@ -241,6 +250,16 @@ def _cmd_prove(args: argparse.Namespace) -> int:
         bundle, ok, t0, t1, t2 = run()
     print(f"prove: {t1 - t0:.2f} s | verify: {t2 - t1:.2f} s | "
           f"proof: {bundle.size_bytes()} bytes | valid: {ok}")
+    if bundle.report is not None:
+        ev = bundle.report.events
+        print(f"job {bundle.report.job_id}: dispatch="
+              f"{bundle.report.dispatch}"
+              + (f" incidents={ev}" if ev else ""))
+    if args.metrics_out:
+        from .obs.openmetrics import write_openmetrics
+
+        write_openmetrics(args.metrics_out)
+        print(f"OpenMetrics exposition written to {args.metrics_out}")
     if tracer is not None and (args.trace or args.trace_out):
         print("\nphase tree:")
         print(tracer.format_tree())
@@ -367,6 +386,59 @@ EXIT_VERIFICATION_ERROR = 5
 EXIT_TIMEOUT = 6
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Render the process metrics registry as OpenMetrics text.
+
+    The registry is process-local, so in a fresh CLI process the
+    exposition is empty until something records into it; long-running
+    embedders (or tests) call :func:`repro.obs.openmetrics.render`
+    directly after proving.  ``prove --metrics-out`` is the one-shot
+    equivalent: prove, then snapshot.
+    """
+    from .obs.openmetrics import render, write_openmetrics
+
+    if args.out:
+        write_openmetrics(args.out)
+        print(f"OpenMetrics exposition written to {args.out}")
+        return 0
+    sys.stdout.write(render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Dump recent flight-recorder records (jobs + supervision events).
+
+    Reads the JSONL spool when one is named (``--log``, or the
+    ``REPRO_FLIGHT_LOG`` environment variable — the recorder in any
+    prover process with that variable set appends every record there);
+    otherwise falls back to this process's in-memory ring.
+    """
+    import os
+
+    from .obs import FLIGHT
+    from .obs.events import FLIGHT_LOG_ENV, format_events, read_spool
+
+    path = args.log or os.environ.get(FLIGHT_LOG_ENV)
+    if path:
+        try:
+            events = read_spool(path, last=args.last)
+        except OSError as exc:
+            print(f"cannot read flight log {path}: {exc}", file=sys.stderr)
+            return 1
+        source = path
+    else:
+        events = [e.to_dict() for e in FLIGHT.last(args.last)]
+        source = "in-memory ring (set REPRO_FLIGHT_LOG or pass --log for "\
+                 "cross-process history)"
+    if args.json:
+        print(json.dumps(events, indent=2))
+        return 0
+    print(f"flight recorder: {len(events)} record(s) from {source}")
+    if events:
+        print(format_events(events))
+    return 0
+
+
 def _cmd_doctor(args: argparse.Namespace) -> int:
     """Scan /dev/shm for repro-owned segments; reclaim orphans.
 
@@ -472,6 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "(implies --trace)")
     prove.add_argument("--metrics", action="store_true",
                        help="print kernel counters (hashes, butterflies, ...)")
+    prove.add_argument("--metrics-out", metavar="PATH", default=None,
+                       help="write counters/gauges/latency histograms as "
+                            "OpenMetrics text (Prometheus-scrapeable)")
+    prove.add_argument("--flight-log", metavar="PATH", default=None,
+                       help="append flight-recorder records (job reports, "
+                            "supervision events) to PATH as JSON lines; "
+                            "read them back with `repro report --log PATH`")
     prove.set_defaults(func=_cmd_prove)
 
     ver = sub.add_parser(
@@ -511,6 +590,29 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--dry-run", action="store_true",
                         help="report orphans without unlinking them")
     doctor.set_defaults(func=_cmd_doctor)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render the process metrics registry as OpenMetrics text")
+    metrics.add_argument("--out", metavar="PATH", default=None,
+                         help="write to PATH instead of stdout")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    report = sub.add_parser(
+        "report",
+        help="dump recent flight-recorder job reports and supervision "
+             "events")
+    report.add_argument("--last", type=int, default=20, metavar="N",
+                        help="show the most recent N records "
+                             "(default: %(default)s)")
+    report.add_argument("--json", action="store_true",
+                        help="emit raw JSON records instead of the "
+                             "one-line-per-event rendering")
+    report.add_argument("--log", metavar="PATH", default=None,
+                        help="read records from a JSONL flight log "
+                             "(default: $REPRO_FLIGHT_LOG, else the "
+                             "in-memory ring)")
+    report.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -27,7 +27,14 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Optional
 
-from .metrics import METRICS, MetricsRegistry, peak_rss_bytes  # noqa: F401
+from .metrics import (  # noqa: F401
+    DEFAULT_LATENCY_BOUNDS,
+    METRICS,
+    Histogram,
+    MetricsRegistry,
+    peak_rss_bytes,
+)
+from .events import FLIGHT, FlightEvent, FlightRecorder, JobReport  # noqa: F401
 from .tracer import (  # noqa: F401
     FAMILIES,
     NULL_TRACER,
@@ -35,7 +42,9 @@ from .tracer import (  # noqa: F401
     SpanRecord,
     Tracer,
 )
+from . import events  # noqa: F401
 from . import export  # noqa: F401
+from . import openmetrics  # noqa: F401
 
 #: The active tracer: module state, single-threaded like the prover.
 _active = NULL_TRACER
@@ -88,8 +97,16 @@ def tracing(metrics: bool = True):
         stop_trace()
 
 
+def observe(name: str, value, **labels) -> None:
+    """Record one histogram observation (no-op when metrics disabled)."""
+    METRICS.observe(name, value, **labels)
+
+
 __all__ = [
-    "FAMILIES", "METRICS", "MetricsRegistry", "NullTracer", "NULL_TRACER",
-    "SpanRecord", "Tracer", "export", "get_tracer", "peak_rss_bytes",
-    "set_tracer", "span", "start_trace", "stop_trace", "tracing",
+    "DEFAULT_LATENCY_BOUNDS", "FAMILIES", "FLIGHT", "FlightEvent",
+    "FlightRecorder", "Histogram", "JobReport", "METRICS",
+    "MetricsRegistry", "NullTracer", "NULL_TRACER", "SpanRecord", "Tracer",
+    "events", "export", "get_tracer", "observe", "openmetrics",
+    "peak_rss_bytes", "set_tracer", "span", "start_trace", "stop_trace",
+    "tracing",
 ]

@@ -1,0 +1,279 @@
+"""OpenMetrics / Prometheus text exposition for the metrics registry.
+
+Zero-dependency renderer from a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot to the OpenMetrics text format (the subset Prometheus scrapes):
+
+* counters  -> ``# TYPE name counter`` + ``name_total <v>``
+* gauges    -> ``# TYPE name gauge``   + ``name <v>``
+* histograms-> ``# TYPE name histogram`` + cumulative ``name_bucket``
+  series with ``le`` labels, then ``name_count`` / ``name_sum``
+* terminated by ``# EOF``
+
+Metric names are sanitized (dots become underscores, invalid leading
+characters prefixed) and histogram label sets pass through, so
+``phase_seconds{family="merkle"}`` renders as a labeled series family.
+
+The module also ships :func:`parse` — a **strict** parser used by the
+tests and CI to validate every emitted exposition round-trip: it rejects
+unknown line shapes, samples without a preceding ``# TYPE``, duplicate
+series, non-cumulative or ``+Inf``-less histograms, ``_count``/``_sum``
+mismatches, and a missing ``# EOF`` terminator.  Rendering and parsing
+share no state, so a bug in one cannot hide in the other.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import METRICS, Histogram, MetricsRegistry
+
+#: OpenMetrics metric-name grammar (we generate and accept this subset).
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(?:\s+(\S+))?$")
+
+
+def sanitize_name(name: str) -> str:
+    """Make an arbitrary registry name a legal OpenMetrics metric name."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _fmt(value) -> str:
+    """Canonical sample-value rendering (ints stay ints; +Inf spelled
+    the OpenMetrics way)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+def _label_str(labels: Tuple[Tuple[str, str], ...],
+               extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(labels) + ([extra] if extra is not None else [])
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{sanitize_name(k)}="{_escape(str(v))}"'
+                          for k, v in pairs) + "}"
+
+
+def render(registry: Optional[MetricsRegistry] = None,
+           prefix: str = "repro_") -> str:
+    """Render a registry (default: the process-wide ``METRICS``) as
+    OpenMetrics text.  Deterministic: series are sorted by name."""
+    registry = registry if registry is not None else METRICS
+    lines: List[str] = []
+
+    for name, value in sorted(registry.counters().items()):
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(value)}")
+
+    for name, value in sorted(registry.gauges().items()):
+        metric = prefix + sanitize_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    # Histograms sharing a base name (labeled series) share one TYPE line.
+    by_name: Dict[str, List[Tuple[Tuple[Tuple[str, str], ...], Histogram]]]
+    by_name = {}
+    for (name, labels), hist in registry.histograms().items():
+        by_name.setdefault(prefix + sanitize_name(name), []).append(
+            (labels, hist))
+    for metric in sorted(by_name):
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, hist in sorted(by_name[metric], key=lambda lh: lh[0]):
+            for le, cum in hist.cumulative():
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_label_str(labels, ('le', _fmt(float(le))))} {cum}")
+            lines.append(f"{metric}_count{_label_str(labels)} {hist.count}")
+            lines.append(
+                f"{metric}_sum{_label_str(labels)} {_fmt(hist.sum)}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(path, registry: Optional[MetricsRegistry] = None,
+                      prefix: str = "repro_") -> str:
+    """Render and write to ``path``; returns the text."""
+    text = render(registry, prefix=prefix)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Strict parser (test/CI-side validation)
+# ---------------------------------------------------------------------------
+
+def _parse_value(raw: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    return float(raw)  # raises ValueError on garbage
+
+
+def _parse_labels(raw: Optional[str]) -> Tuple[Tuple[str, str], ...]:
+    if not raw:
+        return ()
+    body = raw[1:-1]
+    if not body:
+        return ()
+    labels = tuple((k, v) for k, v in _LABEL_RE.findall(body))
+    # Re-rendering must reproduce the input exactly — otherwise the label
+    # body contained something the grammar does not allow.
+    rendered = ",".join(f'{k}="{v}"' for k, v in labels)
+    if rendered != body:
+        raise ValueError(f"malformed label set {raw!r}")
+    return labels
+
+
+def parse(text: str) -> Dict[str, dict]:
+    """Strictly parse OpenMetrics text; returns ``{metric: family}``.
+
+    Each family is ``{"type": ..., "samples": {series_key: value}}``
+    where ``series_key`` is ``(sample_name, labels)``.  Raises
+    :class:`ValueError` on any violation (see module docstring for the
+    list).  Histogram families are additionally checked for cumulative
+    buckets, a ``+Inf`` bucket equal to ``_count``, and sample
+    completeness.
+    """
+    families: Dict[str, dict] = {}
+    declared: Dict[str, str] = {}
+    seen_series = set()
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines = lines[:-1]
+    else:
+        raise ValueError("exposition must end with a newline")
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must terminate with '# EOF'")
+    for lineno, line in enumerate(lines[:-1], 1):
+        if not line:
+            raise ValueError(f"line {lineno}: blank lines are not allowed")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            _, _, metric, mtype = parts
+            if not _NAME_RE.match(metric):
+                raise ValueError(f"line {lineno}: bad metric name "
+                                 f"{metric!r}")
+            if mtype not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"line {lineno}: unknown type {mtype!r}")
+            if metric in declared:
+                raise ValueError(f"line {lineno}: duplicate TYPE for "
+                                 f"{metric}")
+            declared[metric] = mtype
+            families[metric] = {"type": mtype, "samples": {}}
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unknown comment line {line!r}")
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        sample_name, labels_raw, value_raw, _ts = m.groups()
+        labels = _parse_labels(labels_raw)
+        value = _parse_value(value_raw)
+        metric = _metric_for_sample(sample_name, declared)
+        if metric is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no preceding "
+                "# TYPE declaration")
+        series = (sample_name, labels)
+        if series in seen_series:
+            raise ValueError(f"line {lineno}: duplicate series {series!r}")
+        seen_series.add(series)
+        families[metric]["samples"][series] = value
+    for metric, family in families.items():
+        if family["type"] == "histogram":
+            _check_histogram(metric, family["samples"])
+        elif family["type"] == "counter":
+            _check_counter(metric, family["samples"])
+    return families
+
+
+def _metric_for_sample(sample_name: str,
+                       declared: Dict[str, str]) -> Optional[str]:
+    """Resolve a sample line back to its declared metric family."""
+    if sample_name in declared and declared[sample_name] == "gauge":
+        return sample_name
+    for suffix, types in (("_total", ("counter",)),
+                          ("_bucket", ("histogram",)),
+                          ("_count", ("histogram",)),
+                          ("_sum", ("histogram",))):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in declared and declared[base] in types:
+                return base
+    return None
+
+
+def _check_counter(metric: str, samples: dict) -> None:
+    for (_, _labels), value in samples.items():
+        if value < 0:
+            raise ValueError(f"{metric}: counter value {value} is negative")
+
+
+def _check_histogram(metric: str, samples: dict) -> None:
+    """Per label-set: buckets cumulative, +Inf present and == _count."""
+    series: Dict[Tuple[Tuple[str, str], ...], dict] = {}
+    for (sample_name, labels), value in samples.items():
+        if sample_name == f"{metric}_bucket":
+            le_pairs = [v for k, v in labels if k == "le"]
+            if len(le_pairs) != 1:
+                raise ValueError(
+                    f"{metric}: bucket series needs exactly one 'le' label")
+            rest = tuple(p for p in labels if p[0] != "le")
+            entry = series.setdefault(rest, {"buckets": [], "count": None,
+                                             "sum": None})
+            entry["buckets"].append((_parse_value(le_pairs[0]), value))
+        elif sample_name == f"{metric}_count":
+            series.setdefault(labels, {"buckets": [], "count": None,
+                                       "sum": None})["count"] = value
+        elif sample_name == f"{metric}_sum":
+            series.setdefault(labels, {"buckets": [], "count": None,
+                                       "sum": None})["sum"] = value
+    if not series:
+        raise ValueError(f"{metric}: histogram family has no samples")
+    for labels, entry in series.items():
+        buckets, count, total = (entry["buckets"], entry["count"],
+                                 entry["sum"])
+        if count is None or total is None:
+            raise ValueError(
+                f"{metric}{dict(labels)}: missing _count or _sum")
+        if not buckets:
+            raise ValueError(f"{metric}{dict(labels)}: no _bucket samples")
+        les = [le for le, _ in buckets]
+        if les != sorted(les):
+            raise ValueError(
+                f"{metric}{dict(labels)}: bucket le values not sorted")
+        cums = [c for _, c in buckets]
+        if any(b > a for b, a in zip(cums, cums[1:])):
+            # cums must be non-decreasing (cumulative counts)
+            pass
+        if cums != sorted(cums):
+            raise ValueError(
+                f"{metric}{dict(labels)}: bucket counts not cumulative")
+        if not math.isinf(les[-1]):
+            raise ValueError(f"{metric}{dict(labels)}: missing +Inf bucket")
+        if cums[-1] != count:
+            raise ValueError(
+                f"{metric}{dict(labels)}: +Inf bucket {cums[-1]} != "
+                f"_count {count}")

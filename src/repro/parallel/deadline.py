@@ -60,6 +60,9 @@ class Deadline:
         """Raise :class:`ProverTimeoutError` if the budget is spent."""
         if self.expired:
             what = self.label or "prover deadline"
+            from ..obs.events import FLIGHT
+            FLIGHT.record("timeout", label=what, phase=phase,
+                          budget_s=self.budget_s)
             raise ProverTimeoutError(f"{what} expired",
                                      budget_s=self.budget_s, phase=phase)
 

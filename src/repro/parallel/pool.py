@@ -75,6 +75,7 @@ import numpy as np
 from .. import obs
 from ..errors import ProverTimeoutError, WorkerCrashError
 from ..hashing import fieldhash
+from ..obs.events import FLIGHT as _FLIGHT
 from ..obs.metrics import METRICS as _METRICS
 from . import kernels, shm
 from .deadline import check_deadline
@@ -164,7 +165,13 @@ def _call_task(payload):
     finally:
         obs.stop_trace()
     counters = tracer.metrics_snapshot.get("counters", {})
-    return result, (os.getpid(), tracer.records(), counters, tracer.start_abs)
+    # Histograms observed worker-side (a worker's own prove_seconds in
+    # job fan-out) ship as (name, labels, dict) triples for bucket-wise
+    # merge into the parent registry.
+    hists = [(name, list(labels), hist.to_dict())
+             for (name, labels), hist in obs.METRICS.histograms().items()]
+    return result, (os.getpid(), tracer.records(), counters,
+                    tracer.start_abs, hists)
 
 
 class ProverPool:
@@ -299,6 +306,8 @@ class ProverPool:
         if delay > 0:
             time.sleep(delay)
         _METRICS.inc("parallel.worker_restarts")
+        _FLIGHT.record("worker_restart", attempt=attempt, backoff_s=delay,
+                       workers=self.workers)
         self._ensure_executor()
 
     def arena(self) -> shm.ShmArena:
@@ -425,11 +434,16 @@ class ProverPool:
                 except Exception as exc:  # noqa: BLE001 - reported per task
                     results.append(exc)
             return results
-        trace = obs.get_tracer() is not None
+        # Workers run under a local tracer whenever the parent wants any
+        # telemetry back — a full trace, or just the metrics registry
+        # (e.g. ``repro prove --metrics-out`` without --trace).
+        trace = obs.get_tracer() is not None or _METRICS.enabled
         payloads = [(fn, task, trace) for task in tasks]
         _METRICS.inc("parallel.dispatches", len(tasks))
+        t0 = time.perf_counter()
         outs = self._supervised_map(payloads,
                                     return_exceptions=return_exceptions)
+        _METRICS.observe("dispatch_seconds", time.perf_counter() - t0)
         tracer = obs.get_tracer()
         results = []
         for out in outs:
@@ -437,10 +451,20 @@ class ProverPool:
                 results.append(out)
                 continue
             result, meta = out
-            if meta is not None and tracer is not None:
-                worker_pid, records, counters, t0_abs = meta
-                tracer.absorb_worker(worker_pid, records, counters,
-                                     start_abs=t0_abs)
+            if meta is not None:
+                worker_pid, records, counters, t0_abs, hists = meta
+                if tracer is not None:
+                    tracer.absorb_worker(worker_pid, records, counters,
+                                         start_abs=t0_abs, histograms=hists)
+                elif _METRICS.enabled:
+                    # Metrics-only mode: no span tree to hang worker
+                    # records on, but counters and histograms still merge.
+                    for name, delta in counters.items():
+                        _METRICS.inc(name, delta)
+                    for name, labels, data in hists:
+                        _METRICS.merge_histogram(
+                            name, tuple((str(k), str(v))
+                                        for k, v in labels), data)
             results.append(result)
         return results
 
@@ -477,6 +501,8 @@ class ProverPool:
         for attempt in range(policy.max_retries + 1):
             if attempt:
                 _METRICS.inc("parallel.retries", len(failed))
+                _FLIGHT.record("retry", attempt=attempt,
+                               chunks=len(failed))
             ex = self._ensure_executor()
             try:
                 pending = {ex.submit(_call_task, payloads[i]): i
@@ -505,6 +531,9 @@ class ProverPool:
                     # A genuine stall: nothing finished inside the
                     # watchdog window.  Presume the workers hung.
                     _METRICS.inc("parallel.dispatch_stalls")
+                    _FLIGHT.record("dispatch_stall",
+                                   pending=len(pending),
+                                   window_s=policy.dispatch_timeout_s)
                     for fut, i in pending.items():
                         fut.cancel()
                         failed.append(i)
@@ -534,6 +563,8 @@ class ProverPool:
                     except Exception as exc:  # noqa: BLE001 - retried
                         last_exc[i] = exc
                         failed.append(i)
+                        _FLIGHT.record("task_error",
+                                       error=type(exc).__name__)
             if not failed:
                 return results
             failed = sorted(set(failed))
@@ -569,6 +600,8 @@ class ProverPool:
         (the serial rerun is bit-identical, so this costs latency only)."""
         _METRICS.inc("parallel.degradations")
         _METRICS.inc(f"parallel.degradations.{kernel}")
+        _FLIGHT.record("degradation", kernel=kernel,
+                       error=type(exc).__name__)
 
     # -- broadcast (amortized keygen) --------------------------------------
     def broadcast(self, obj) -> Tuple[str, shm.BlobDesc]:

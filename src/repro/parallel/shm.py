@@ -39,6 +39,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.events import FLIGHT as _FLIGHT
 from ..obs.metrics import METRICS as _METRICS
 
 #: Environment switch for the pickled-dispatch fallback.
@@ -425,4 +426,6 @@ def reclaim_orphans(shm_dir: str = SHM_DIR) -> List[str]:
         reclaimed.append(name)
     if reclaimed:
         _METRICS.inc("parallel.janitor_reclaimed", len(reclaimed))
+        _FLIGHT.record("janitor", reclaimed=len(reclaimed),
+                       names=reclaimed[:8])
     return reclaimed

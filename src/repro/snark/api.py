@@ -32,15 +32,20 @@ as thin deprecation shims.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..errors import ProverTimeoutError, ReproError, VerificationError
 from ..hashing.transcript import Transcript
+from ..obs import JobReport
 from ..obs import span as _span
+from ..obs.events import FLIGHT as _FLIGHT
+from ..obs.metrics import METRICS as _METRICS
 from ..parallel.deadline import deadline_scope
 from ..r1cs.builder import Circuit
 from ..r1cs.system import R1CS
@@ -56,12 +61,19 @@ class ProofBundle:
     wire (see :mod:`repro.snark.envelope`); bundles built by hand for the
     legacy API may leave them empty, in which case :meth:`to_bytes` is
     unavailable and preset binding is skipped at verification.
+
+    ``report`` is local-only telemetry (the flight-recorder
+    :class:`~repro.obs.events.JobReport` for the job that produced this
+    bundle), populated when :func:`prove` / :func:`prove_many` is called
+    with ``attach_report=True``.  It never serializes into the envelope:
+    proof bytes stay bit-identical with or without it.
     """
 
     proof: SpartanProof
     public: np.ndarray
     preset_name: str = ""
     circuit_id: str = ""
+    report: Optional[JobReport] = None
 
     def size_bytes(self) -> int:
         return self.proof.size_bytes() + len(self.public) * 8
@@ -126,12 +138,31 @@ def setup(r1cs: R1CS, preset: SecurityPreset = TEST
     return ProvingKey(r1cs, preset), VerifyingKey(r1cs, preset)
 
 
+def _dispatch_mode(pool) -> str:
+    """Which dispatch path a pool implies (for flight-recorder reports)."""
+    if pool is None or pool.is_serial:
+        return "serial"
+    return "shm" if pool.use_shm else "pickle"
+
+
+def _observe_phases(tracer, rec0: int, root: str) -> None:
+    """Record per-family phase seconds for the spans opened since
+    ``rec0`` into the ``phase_seconds`` histogram (one labeled series
+    per family).  Slicing by record index keeps multi-prove traces from
+    double counting earlier jobs."""
+    if tracer is None:
+        return
+    for fam, secs in tracer.family_seconds(root, start_index=rec0).items():
+        _METRICS.observe("phase_seconds", secs, family=fam)
+
+
 def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
           rng: Optional[np.random.Generator] = None,
           seed: Optional[int] = None,
           pool=None, workers: Optional[int] = None,
           circuit_id: str = "",
-          timeout_s: Optional[float] = None) -> ProofBundle:
+          timeout_s: Optional[float] = None,
+          attach_report: bool = False) -> ProofBundle:
     """Generate a proof that ``witness`` satisfies ``pk.r1cs`` on ``public``.
 
     Randomness: the zk-mask draws from ``rng`` (or a generator seeded
@@ -150,6 +181,14 @@ def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
     phase boundary or dispatch wait raises
     :class:`~repro.errors.ProverTimeoutError`.  Deadlines nest — inside
     an enclosing scope the effective budget is the tighter of the two.
+
+    Telemetry: every call appends a :class:`~repro.obs.events.JobReport`
+    to the flight recorder (``repro report`` dumps the tail) and, when
+    the metrics registry is enabled, one observation each into the
+    ``prove_seconds`` and per-family ``phase_seconds`` histograms.
+    ``attach_report=True`` additionally hangs the report off the
+    returned bundle (:attr:`ProofBundle.report`; local-only, never
+    serialized).
     """
     if rng is None:
         rng = np.random.default_rng(seed)
@@ -157,17 +196,48 @@ def prove(pk: ProvingKey, public: np.ndarray, witness: np.ndarray, *,
         from ..parallel import get_pool
 
         pool = get_pool(workers)
-    with deadline_scope(timeout_s, label="prove"):
-        prover = pk.prover(rng=rng, pool=pool)
-        with _span("snark.prove", "other",
-                   constraints=pk.r1cs.shape.num_constraints,
-                   repetitions=pk.preset.sumcheck_repetitions,
-                   workers=getattr(pool, "workers", 1)):
-            proof = prover.prove(public, witness, Transcript())
-    return ProofBundle(proof=proof,
-                       public=np.asarray(public, dtype=np.uint64),
-                       preset_name=pk.preset.name,
-                       circuit_id=circuit_id)
+    job_id = _FLIGHT.next_job_id()
+    seq0 = _FLIGHT.seq
+    rss0 = obs.peak_rss_bytes()
+    tracer = obs.get_tracer()
+    rec0 = tracer.record_index() if tracer is not None else 0
+    t0 = time.perf_counter()
+    try:
+        with deadline_scope(timeout_s, label="prove"):
+            prover = pk.prover(rng=rng, pool=pool)
+            with _span("snark.prove", "other",
+                       constraints=pk.r1cs.shape.num_constraints,
+                       repetitions=pk.preset.sumcheck_repetitions,
+                       workers=getattr(pool, "workers", 1)):
+                proof = prover.prove(public, witness, Transcript())
+    except BaseException as exc:
+        _FLIGHT.record_job(JobReport(
+            job_id=job_id, op="prove", preset=pk.preset.name,
+            circuit_id=circuit_id, workers=getattr(pool, "workers", 1),
+            dispatch=_dispatch_mode(pool), jobs=1,
+            duration_s=time.perf_counter() - t0,
+            peak_rss_delta_bytes=max(0, obs.peak_rss_bytes() - rss0),
+            ok=False, error=type(exc).__name__,
+            events=_FLIGHT.fault_deltas(seq0)))
+        raise
+    duration = time.perf_counter() - t0
+    _METRICS.observe("prove_seconds", duration)
+    _observe_phases(tracer, rec0, "snark.prove")
+    bundle = ProofBundle(proof=proof,
+                         public=np.asarray(public, dtype=np.uint64),
+                         preset_name=pk.preset.name,
+                         circuit_id=circuit_id)
+    report = JobReport(
+        job_id=job_id, op="prove", preset=pk.preset.name,
+        circuit_id=circuit_id, workers=getattr(pool, "workers", 1),
+        dispatch=_dispatch_mode(pool), jobs=1, duration_s=duration,
+        proof_size_bytes=bundle.size_bytes(),
+        peak_rss_delta_bytes=max(0, obs.peak_rss_bytes() - rss0),
+        ok=True, events=_FLIGHT.fault_deltas(seq0))
+    _FLIGHT.record_job(report)
+    if attach_report:
+        bundle.report = report
+    return bundle
 
 
 @dataclass
@@ -189,7 +259,8 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
                base_seed: Optional[int] = None,
                circuit_id: str = "",
                timeout_s: Optional[float] = None,
-               on_error: str = "raise"):
+               on_error: str = "raise",
+               attach_report: bool = False):
     """Prove a batch of independent ``(public, witness)`` jobs.
 
     Jobs share nothing, so each runs end to end on one worker process
@@ -226,6 +297,14 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
     re-raises the first unrecovered error, all-or-nothing;
     ``"return"`` yields a :class:`JobResult` per job so one poisoned
     statement cannot sink a batch.
+
+    Telemetry: the batch appends one :class:`~repro.obs.events.JobReport`
+    (``op="prove_many"``) to the flight recorder whose ``events`` are the
+    supervision incidents *of this batch only* — deltas of the recorder's
+    sequence numbers, not absolute counter values, so back-to-back
+    batches in one process never inherit each other's degradation or
+    retry counts.  ``attach_report=True`` hangs that batch report off
+    every returned bundle.
     """
     if on_error not in ("raise", "return"):
         raise ValueError(f"on_error must be 'raise' or 'return', "
@@ -245,32 +324,83 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
             kernels.prove_job(pk.r1cs, pk.preset, pubs[j], wits[j],
                               seeds[j], circuit_id, timeout_s=timeout_s))
 
-    def _finish(outcomes):
+    job_id = _FLIGHT.next_job_id()
+    seq0 = _FLIGHT.seq
+    rss0 = obs.peak_rss_bytes()
+    t0 = time.perf_counter()
+
+    def _batch_report(outcomes, pool, error: str = "") -> JobReport:
+        bundles = [out for out in outcomes if isinstance(out, ProofBundle)]
+        failures = [out for out in outcomes
+                    if isinstance(out, JobResult) and not out.ok]
+        if not error and failures:
+            error = type(failures[0].error).__name__
+        return JobReport(
+            job_id=job_id, op="prove_many", preset=pk.preset.name,
+            circuit_id=circuit_id, workers=getattr(pool, "workers", 1),
+            dispatch=_dispatch_mode(pool), jobs=len(jobs),
+            duration_s=time.perf_counter() - t0,
+            proof_size_bytes=sum(b.size_bytes() for b in bundles),
+            peak_rss_delta_bytes=max(0, obs.peak_rss_bytes() - rss0),
+            ok=not error, error=error,
+            events=_FLIGHT.fault_deltas(seq0))
+
+    def _finish(outcomes, pool):
+        report = _batch_report(outcomes, pool)
+        _FLIGHT.record_job(report)
         if on_error == "return":
-            return [out if isinstance(out, JobResult)
-                    else JobResult(ok=True, bundle=out) for out in outcomes]
-        for out in outcomes:
-            if isinstance(out, JobResult) and not out.ok:
-                raise out.error
-        return list(outcomes)
+            results = [out if isinstance(out, JobResult)
+                       else JobResult(ok=True, bundle=out)
+                       for out in outcomes]
+        else:
+            for out in outcomes:
+                if isinstance(out, JobResult) and not out.ok:
+                    raise out.error
+            results = list(outcomes)
+        if attach_report:
+            for out in results:
+                bundle = out.bundle if isinstance(out, JobResult) else out
+                if bundle is not None:
+                    bundle.report = report
+        return results
 
     explicit_serial = (pool is None and workers is not None and workers <= 1)
     if pool is None and not explicit_serial:
         from ..parallel import get_pool
 
         pool = get_pool(workers)
-    if (pool is None or pool.is_serial or len(jobs) == 1
-            or not pool.job_fanout_pays):
-        outcomes = []
-        with _span("snark.prove_many", "other", jobs=len(jobs), workers=1):
-            for j in range(len(jobs)):
-                try:
-                    outcomes.append(_serial_job(j))
-                except Exception as exc:  # noqa: BLE001 - per-job contract
-                    if on_error == "raise":
-                        raise
-                    outcomes.append(JobResult(ok=False, error=exc))
-        return _finish(outcomes)
+    try:
+        if (pool is None or pool.is_serial or len(jobs) == 1
+                or not pool.job_fanout_pays):
+            outcomes = []
+            with _span("snark.prove_many", "other", jobs=len(jobs),
+                       workers=1):
+                for j in range(len(jobs)):
+                    try:
+                        outcomes.append(_serial_job(j))
+                    except Exception as exc:  # noqa: BLE001 - per-job
+                        if on_error == "raise":
+                            raise
+                        outcomes.append(JobResult(ok=False, error=exc))
+            return _finish(outcomes, None)
+    except BaseException as exc:
+        _FLIGHT.record_job(_batch_report([], None,
+                                         error=type(exc).__name__))
+        raise
+    try:
+        return _prove_many_pooled(pk, pool, jobs, seeds, pubs, wits,
+                                  circuit_id, timeout_s, on_error,
+                                  _serial_job, _finish, METRICS, kernels)
+    except BaseException as exc:
+        _FLIGHT.record_job(_batch_report([], pool,
+                                         error=type(exc).__name__))
+        raise
+
+
+def _prove_many_pooled(pk, pool, jobs, seeds, pubs, wits, circuit_id,
+                       timeout_s, on_error, _serial_job, _finish,
+                       METRICS, kernels):
+    """The fan-out body of :func:`prove_many` (split for readability)."""
     with _span("snark.prove_many", "other", jobs=len(jobs),
                workers=pool.workers):
         if pool.use_shm:
@@ -320,7 +450,7 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
                 if on_error == "raise":
                     raise
                 outcomes.append(JobResult(ok=False, error=exc))
-    return _finish(outcomes)
+    return _finish(outcomes, pool)
 
 
 def verify(vk: VerifyingKey, bundle: ProofBundle) -> bool:
@@ -344,12 +474,15 @@ def _verify_parts(vk: VerifyingKey, public, proof) -> bool:
         public = np.asarray(public, dtype=np.uint64)
     except (TypeError, ValueError, OverflowError):
         return False
+    t0 = time.perf_counter()
     try:
         with _span("snark.verify", "other"):
             return vk.verifier().verify(public, proof, Transcript())
     except ReproError:
         # Typed rejection from a lower layer: the proof is invalid.
         return False
+    finally:
+        _METRICS.observe("verify_seconds", time.perf_counter() - t0)
 
 
 # ---------------------------------------------------------------------------

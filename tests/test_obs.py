@@ -204,6 +204,76 @@ class TestExport:
         assert validate_phases({"schema": "wrong"})
 
 
+class TestExportEdgeCases:
+    """Exporter behavior at the boundaries: nothing traced, nothing
+    enabled, non-ASCII span names, and multi-worker merged traces."""
+
+    def test_chrome_trace_empty_records(self, tmp_path):
+        obj = chrome_trace(records=[])
+        # Only process/thread metadata events, no slices — still a
+        # structurally valid trace that round-trips through JSON.
+        assert [e for e in obj["traceEvents"] if e["ph"] == "X"] == []
+        assert all(e["ph"] == "M" for e in obj["traceEvents"])
+        assert validate_chrome_trace(json.loads(json.dumps(obj))) == []
+
+    def test_phases_payload_empty_tracer(self):
+        tracer = Tracer()
+        tracer.finish()
+        obj = phases_payload(tracer=tracer, workload="empty")
+        assert validate_phases(obj) == []
+        fracs = obj["functional"]["fractions_by_family"]
+        assert set(fracs) == set(FAMILIES)
+        assert obj["functional"]["spans"] == []
+
+    def test_export_from_disabled_tracer_path(self):
+        # With no active tracer, module-level spans hit the null path and
+        # there is nothing to export; the registry stays empty too.
+        with obs.span("invisible", "merkle"):
+            pass
+        assert obs.get_tracer() is None
+        assert METRICS.counters() == {}
+        assert METRICS.histograms() == {}
+        obj = chrome_trace(records=[])
+        assert "traceEvents" in obj
+
+    def test_unicode_span_names_roundtrip(self, tmp_path):
+        with obs.tracing() as tracer:
+            with obs.span("snark.prove", "other"):
+                with obs.span("mérkle—дерево ✓", "merkle", note="ünïcode"):
+                    pass
+        obj = chrome_trace(records=tracer.records())
+        assert validate_chrome_trace(obj) == []
+        # Full JSON round-trip preserves the names byte-for-byte.
+        back = json.loads(json.dumps(obj, ensure_ascii=False))
+        assert validate_chrome_trace(back) == []
+        names = {e["name"] for e in back["traceEvents"] if e["ph"] == "X"}
+        assert "mérkle—дерево ✓" in names
+        payload = phases_payload(tracer=tracer, workload="unicode")
+        assert validate_phases(json.loads(json.dumps(payload))) == []
+
+    def test_merged_multi_worker_trace(self):
+        parent = Tracer()
+        with parent.span("snark.prove", "other"):
+            pass
+        for fake_pid in (11111, 22222):
+            worker = Tracer()
+            with worker.span("kernels.encode", "rs_encode"):
+                pass
+            parent.absorb_worker(fake_pid, worker.records(),
+                                 counters={"ntt.butterflies": 192},
+                                 start_abs=worker.start_abs)
+        parent.finish()
+        obj = chrome_trace(records=parent.records(),
+                           worker_records=parent.worker_records())
+        assert validate_chrome_trace(obj) == []
+        x_events = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        pids = {e["pid"] for e in x_events}
+        assert len(pids) == 3  # main lane + one lane per worker
+        worker_names = [e["name"] for e in x_events if e["pid"] != 1]
+        assert worker_names.count("kernels.encode") == 2
+        assert validate_chrome_trace(json.loads(json.dumps(obj))) == []
+
+
 class TestTaskRecord:
     def test_tuple_compat(self):
         rec = TaskRecord(name="t", family="merkle", seconds=1.5,

@@ -53,6 +53,7 @@ import numpy as np
 
 from repro import obs
 from repro.hashing import Transcript
+from repro.obs.events import FLIGHT
 from repro.obs.metrics import METRICS, peak_rss_bytes
 from repro.pcs import OrionPCS, PCSParams
 from repro.spartan import SpartanParams, SpartanProver, SpartanVerifier
@@ -78,8 +79,10 @@ MIN_GUARD_BATCH_S = 1.0
 
 
 def measure_instrumentation_unit_costs(iters: int = 200_000) -> dict:
-    """Per-event cost of *disabled* instrumentation: a null span and a
-    disabled counter increment, measured by tight-loop amortization."""
+    """Per-event cost of *disabled* instrumentation: a null span, a
+    disabled counter increment, a disabled histogram observation, and a
+    disabled flight-recorder append, measured by tight-loop amortization.
+    Covers everything metrics v2 compiled into the hot path."""
     assert obs.get_tracer() is None and not METRICS.enabled
     t0 = time.perf_counter()
     for _ in range(iters):
@@ -90,14 +93,35 @@ def measure_instrumentation_unit_costs(iters: int = 200_000) -> dict:
     for _ in range(iters):
         METRICS.inc("bench.noop")
     inc_s = (time.perf_counter() - t0) / iters
-    return {"null_span_s": span_s, "disabled_inc_s": inc_s}
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        METRICS.observe("bench.noop_seconds", 1e-3)
+    observe_s = (time.perf_counter() - t0) / iters
+    flight_prev = FLIGHT.enabled
+    FLIGHT.enabled = False
+    try:
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            FLIGHT.record("janitor")
+        flight_s = (time.perf_counter() - t0) / iters
+    finally:
+        FLIGHT.enabled = flight_prev
+    return {"null_span_s": span_s, "disabled_inc_s": inc_s,
+            "disabled_observe_s": observe_s,
+            "disabled_flight_record_s": flight_s}
 
 
 def noop_overhead_frac(prove_s: float, num_spans: int, num_incs: int,
-                       unit_costs: dict) -> float:
-    """Projected fraction of ``prove_s`` spent in disabled instrumentation."""
+                       unit_costs: dict, num_observes: int = 0) -> float:
+    """Projected fraction of ``prove_s`` spent in disabled instrumentation.
+
+    ``num_observes`` covers the v2 histogram observations (latency and
+    per-family phase seconds); each proof also books one flight-recorder
+    job append."""
     cost = (num_spans * unit_costs["null_span_s"]
-            + num_incs * unit_costs["disabled_inc_s"])
+            + num_incs * unit_costs["disabled_inc_s"]
+            + num_observes * unit_costs.get("disabled_observe_s", 0.0)
+            + unit_costs.get("disabled_flight_record_s", 0.0))
     return cost / prove_s if prove_s else 0.0
 
 
@@ -131,7 +155,11 @@ def bench_size(log_size: int, num_rows: int, repeats: int,
     # sumcheck instances, encode calls) is O(10) per proof.
     num_incs = (counters.get("field.mul_batches", 0)
                 + counters.get("field.scale_add_batches", 0) + 64)
-    overhead = noop_overhead_frac(prove_s, num_spans, num_incs, unit_costs)
+    # Histogram observations per proof: one latency sample plus one
+    # phase_seconds sample per task family, padded for verify/dispatch.
+    num_observes = len(tracer.family_seconds()) + 8
+    overhead = noop_overhead_frac(prove_s, num_spans, num_incs, unit_costs,
+                                  num_observes)
     if overhead >= MAX_NOOP_OVERHEAD_FRAC:
         raise SystemExit(
             f"disabled-tracer overhead projection at 2^{log_size} is "
@@ -152,6 +180,7 @@ def bench_size(log_size: int, num_rows: int, repeats: int,
         "instrumentation": {
             "spans": num_spans,
             "counter_incs_est": num_incs,
+            "observes_est": num_observes,
             "noop_overhead_frac": round(overhead, 6),
         },
     }
@@ -352,7 +381,10 @@ def main(argv=None) -> int:
     unit_costs = measure_instrumentation_unit_costs()
     print(f"disabled instrumentation: null span "
           f"{unit_costs['null_span_s'] * 1e9:.0f} ns, "
-          f"disabled inc {unit_costs['disabled_inc_s'] * 1e9:.0f} ns")
+          f"disabled inc {unit_costs['disabled_inc_s'] * 1e9:.0f} ns, "
+          f"disabled observe {unit_costs['disabled_observe_s'] * 1e9:.0f} ns, "
+          f"disabled flight {unit_costs['disabled_flight_record_s'] * 1e9:.0f}"
+          " ns")
 
     results = []
     print(f"{'size':>6} {'prove (s)':>10} {'verify (s)':>10} {'proof (B)':>10}"

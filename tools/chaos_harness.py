@@ -12,7 +12,11 @@ workload through it, and asserts the fault contract on every scenario:
 * the run **completes with byte-identical proofs** (supervisor retried,
   restarted, or degraded to the serial path), or
 * it raises a **typed** :class:`repro.errors.ReproError`, and
-* either way **zero** ``repro*`` segments are leaked in ``/dev/shm``.
+* either way **zero** ``repro*`` segments are leaked in ``/dev/shm``, and
+* every fired fault left at least one matching event in the
+  :data:`repro.obs.FLIGHT` flight recorder (kill -> ``worker_restart``,
+  stall -> ``dispatch_stall``, spent deadline -> ``timeout``, ...), so
+  no recovery is invisible to an operator reading ``repro report``.
 
 Anything else — wrong bytes, an untyped exception, a leaked segment, or
 a plan that never fired — fails the scenario and the process exits
@@ -43,6 +47,7 @@ import numpy as np
 
 from repro.errors import ProverTimeoutError, ReproError
 from repro.fuzz import faults
+from repro.obs.events import FLIGHT
 from repro.parallel import FaultPolicy, ProverPool
 from repro.snark import TEST, prove, prove_many, setup
 from repro.workloads import synthetic_r1cs
@@ -61,6 +66,22 @@ CHAOS_POLICY = FaultPolicy(max_retries=2, backoff_base_s=0.01,
 
 #: How long an injected stall sleeps — comfortably past the watchdog.
 STALL_S = 6.0
+
+#: Flight-recorder visibility contract: every injected fault must leave
+#: at least one event of a matching kind in the parent's ring (first
+#: entry = the canonical kind; the rest are acceptable recovery paths,
+#: e.g. a kill whose retries exhaust ends in ``degradation`` rather than
+#: ``worker_restart``).  A recovery the recorder cannot see is an outage
+#: an operator cannot see, so invisibility fails the scenario even when
+#: the proof bytes came out right.
+FAULT_VISIBILITY = {
+    "worker_kill": ("worker_restart", "retry", "degradation"),
+    "stall": ("dispatch_stall", "worker_restart", "degradation"),
+    "shm_unlink": ("degradation", "task_error", "retry", "worker_restart"),
+    "poison_pickle": ("degradation", "task_error", "retry"),
+    "error": ("task_error", "retry", "degradation"),
+    "deadline": ("timeout",),
+}
 
 
 @dataclass
@@ -167,6 +188,7 @@ class Workload:
 def run_scenario(sc: Scenario, wl: Workload) -> dict:
     """Execute one scenario and classify its outcome."""
     before = set(repro_segments())
+    seq0 = FLIGHT.seq
     plan = None
     if sc.kind is not None:
         plan = faults.FaultPlan(kind=sc.kind, site=sc.site,
@@ -207,6 +229,16 @@ def run_scenario(sc: Scenario, wl: Workload) -> dict:
         outcome += "+PLAN_NEVER_FIRED"
     if leaked:
         ok = False
+
+    # Fault-visibility contract: the flight recorder must have at least
+    # one matching event for every injected (and fired) fault.
+    flight = FLIGHT.fault_deltas(seq0)
+    visible_kinds = FAULT_VISIBILITY.get(
+        sc.kind or ("deadline" if sc.op == "deadline" else ""))
+    if visible_kinds is not None and (fired or sc.op == "deadline"):
+        if not any(flight.get(k) for k in visible_kinds):
+            ok = False
+            outcome += "+FAULT_INVISIBLE"
     return {
         "scenario": sc.name,
         "kind": sc.kind or ("deadline" if sc.op == "deadline" else "none"),
@@ -216,6 +248,7 @@ def run_scenario(sc: Scenario, wl: Workload) -> dict:
         "outcome": outcome,
         "error": error,
         "fired": fired,
+        "flight_events": flight,
         "leaked_segments": leaked,
         "elapsed_s": round(elapsed, 4),
         "recovery_latency_s": round(max(0.0, elapsed - wl.baseline_s(sc.op)),
@@ -297,9 +330,12 @@ def main(argv=None) -> int:
         res = run_scenario(sc, wl)
         results.append(res)
         status = "ok  " if res["ok"] else "FAIL"
+        flight = ",".join(f"{k}:{v}" for k, v in
+                          sorted(res["flight_events"].items())) or "-"
         print(f"  [{status}] {sc.name:<{width}}  {res['outcome']:<22} "
               f"fired={str(res['fired']):<5} "
-              f"recovery={res['recovery_latency_s']:.2f}s"
+              f"recovery={res['recovery_latency_s']:.2f}s "
+              f"flight={flight}"
               + (f"  leaked={res['leaked_segments']}"
                  if res["leaked_segments"] else ""))
 
@@ -347,7 +383,8 @@ def main(argv=None) -> int:
         print(f"FAIL: {', '.join(bad)}")
         return 1
     print("OK: every injected fault ended in byte-identical proofs or a "
-          "typed error, with zero leaked segments")
+          "typed error, with zero leaked segments and a matching "
+          "flight-recorder event")
     return 0
 
 
