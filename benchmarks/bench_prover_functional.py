@@ -13,7 +13,7 @@ from conftest import emit
 from repro.analysis.tables import format_table
 from repro.hashing import Transcript
 from repro.pcs import OrionPCS, PCSParams
-from repro.snark import Snark, TEST
+from repro.snark import TEST, prove, setup, verify
 from repro.spartan import SpartanParams, SpartanProver, SpartanVerifier
 from repro.workloads import synthetic_r1cs
 
@@ -50,18 +50,20 @@ def test_prove_rsa_circuit(benchmark):
     from repro.workloads import rsa_demo_circuit
 
     circuit, _ = rsa_demo_circuit(num_messages=1, modulus_bits=64, exponent=17)
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    bundle = benchmark(snark.prove)
-    assert snark.verify(bundle)
+    r1cs, pub, wit = circuit.compile()
+    pk, vk = setup(r1cs, TEST)
+    bundle = benchmark(lambda: prove(pk, pub, wit))
+    assert verify(vk, bundle)
 
 
 def test_prove_auction_circuit(benchmark):
     from repro.workloads import auction_demo_circuit
 
     circuit, _ = auction_demo_circuit(num_bids=16, bid_bits=16)
-    snark = Snark.from_circuit(circuit, preset=TEST)
-    bundle = benchmark(snark.prove)
-    assert snark.verify(bundle)
+    r1cs, pub, wit = circuit.compile()
+    pk, vk = setup(r1cs, TEST)
+    bundle = benchmark(lambda: prove(pk, pub, wit))
+    assert verify(vk, bundle)
 
 
 def test_functional_proof_sizes(benchmark):

@@ -14,19 +14,24 @@ Two layers:
   (:mod:`repro.workloads`), and the table/figure analyses
   (:mod:`repro.analysis`).
 
-Quickstart::
+Quickstart (the canonical lifecycle surface, re-exported here)::
 
+    from repro import setup, prove, verify
     from repro.r1cs import Circuit
-    from repro.snark import Snark
 
     circuit = Circuit()
     out = circuit.public(35)
     x = circuit.witness(3)
     circuit.assert_equal(circuit.mul(circuit.mul(x, x), x) + x + 5, out)
-    snark = Snark.from_circuit(circuit)
-    bundle = snark.prove()
-    if not snark.verify(bundle):
+    r1cs, public, witness = circuit.compile()
+    pk, vk = setup(r1cs)
+    bundle = prove(pk, public, witness)
+    if not verify(vk, bundle):
         ...  # reject
+
+Batches go through :func:`prove_many`; a long-running deployment runs
+``repro serve`` and talks to it with :class:`ServiceClient`
+(see ``docs/SERVICE.md``).
 """
 
 __version__ = "1.0.0"
@@ -57,10 +62,29 @@ from .errors import (  # noqa: F401
 )
 from .opcount import OpCount  # noqa: F401
 
+# Canonical API surface: the lifecycle verbs, their key/bundle types,
+# and the service client, importable straight off the package.
+from .snark import (  # noqa: F401
+    PAPER,
+    TEST,
+    JobResult,
+    ProofBundle,
+    ProvingKey,
+    VerifyingKey,
+    prove,
+    prove_many,
+    setup,
+    verify,
+)
+from .service import ServiceClient  # noqa: F401
+
 __all__ = [
     "analysis", "baselines", "code", "errors", "field", "hashing",
     "multilinear", "nocap", "ntt", "obs", "pcs", "r1cs", "snark", "spartan",
     "workloads", "OpCount", "__version__",
     "ReproError", "DeserializationError", "VerificationError",
     "TranscriptError", "ConfigError",
+    "setup", "prove", "prove_many", "verify",
+    "ProvingKey", "VerifyingKey", "ProofBundle", "JobResult",
+    "TEST", "PAPER", "ServiceClient",
 ]

@@ -169,32 +169,16 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
-_WORKLOAD_BUILDERS = {
-    "aes": lambda: __import__("repro.workloads", fromlist=["aes_demo_circuit"])
-    .aes_demo_circuit(num_blocks=1, num_rounds=2)[0],
-    "sha": lambda: __import__("repro.workloads", fromlist=["sha_demo_circuit"])
-    .sha_demo_circuit(num_blocks=1, num_rounds=8)[0],
-    "rsa": lambda: __import__("repro.workloads", fromlist=["rsa_demo_circuit"])
-    .rsa_demo_circuit(num_messages=1, modulus_bits=64, exponent=17)[0],
-    "litmus": lambda: __import__("repro.workloads",
-                                 fromlist=["litmus_demo_circuit"])
-    .litmus_demo_circuit(num_transactions=6, num_rows=8)[0],
-    "auction": lambda: __import__("repro.workloads",
-                                  fromlist=["auction_demo_circuit"])
-    .auction_demo_circuit(num_bids=12, bid_bits=16)[0],
-}
-
-#: Paper-name spellings accepted on the command line.
-_WORKLOAD_ALIASES = {"sha256": "sha", "aes128": "aes"}
-
-
 def _workload_choices() -> List[str]:
-    return sorted(list(_WORKLOAD_BUILDERS) + list(_WORKLOAD_ALIASES))
+    from .workloads.registry import workload_choices
+
+    return workload_choices()
 
 
 def _build_workload(name: str):
-    name = _WORKLOAD_ALIASES.get(name, name)
-    return name, _WORKLOAD_BUILDERS[name]()
+    from .workloads.registry import build_workload
+
+    return build_workload(name)
 
 
 def _print_metrics(snapshot: dict) -> None:
@@ -305,12 +289,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         raise ConfigError(
             "bundle carries no circuit id; pass --workload to name the "
             "statement it proves")
-    resolved = _WORKLOAD_ALIASES.get(workload, workload)
-    if resolved not in _WORKLOAD_BUILDERS:
-        raise ConfigError(
-            f"unknown circuit id {workload!r}; known workloads: "
-            f"{', '.join(_workload_choices())}")
-    name, circuit = _build_workload(resolved)
+    # Unknown ids raise ConfigError -> exit 3 via main().
+    name, circuit = _build_workload(workload)
     r1cs, _, _ = circuit.compile()
     _, vk = setup(r1cs, preset_by_name(bundle.preset_name))
     print(f"{args.bundle}: preset {bundle.preset_name}, circuit {name}, "
@@ -328,16 +308,27 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from . import obs
     from .nocap import NoCapSimulator
     from .obs.export import write_chrome_trace, write_phases
-    from .snark import TEST, prove, setup, verify
+    from .snark import preset_by_name, prove, setup, verify
 
+    preset = preset_by_name(args.preset)
     name, circuit = _build_workload(args.workload)
     print(f"{name}: {circuit.num_constraints} constraints")
     r1cs, public, witness = circuit.compile()
-    pk, vk = setup(r1cs, TEST)
+    pk, vk = setup(r1cs, preset)
     pool = _make_pool(args)
+    if args.flight_log:
+        from .obs import FLIGHT
+
+        FLIGHT.spool_to(args.flight_log)
     with obs.tracing() as tracer:
-        bundle = prove(pk, public, witness, pool=pool, circuit_id=name)
+        bundle = prove(pk, public, witness, pool=pool, circuit_id=name,
+                       timeout_s=args.timeout)
         ok = verify(vk, bundle)
+    if args.metrics_out:
+        from .obs.openmetrics import write_openmetrics
+
+        write_openmetrics(args.metrics_out)
+        print(f"OpenMetrics exposition written to {args.metrics_out}")
     if not ok:
         print("proof failed to verify", file=sys.stderr)
         return 1
@@ -482,16 +473,125 @@ def _cmd_doctor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the proving service daemon (see docs/SERVICE.md)."""
+    from .service import ServiceConfig, serve_forever
+
+    kwargs = dict(
+        host=args.host, port=args.port, unix_socket=args.unix_socket,
+        queue_depth=args.queue_depth, max_per_client=args.max_per_client,
+        job_slots=args.job_slots, workers=args.workers,
+        preset=args.preset,
+        key_cache_bytes=args.key_cache_mb * 1024 * 1024,
+        proof_cache_bytes=args.proof_cache_mb * 1024 * 1024)
+    if args.timeout is not None:
+        kwargs["timeout_s"] = args.timeout  # else keep the config default
+    config = ServiceConfig(**kwargs)
+    if args.flight_log:
+        from .obs import FLIGHT
+
+        FLIGHT.spool_to(args.flight_log)
+    return serve_forever(config)
+
+
+def _client_from(args: argparse.Namespace):
+    from .service import ServiceClient
+
+    address = args.unix_socket if args.unix_socket else args.connect
+    return ServiceClient(address)
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """Talk to a running ``repro serve`` daemon.
+
+    Server-side failures surface as the same typed errors local commands
+    raise, so the exit-code table (docs/API.md) applies unchanged.
+    """
+    with _client_from(args) as svc:
+        if args.action == "prove":
+            envelope = svc.prove(args.workload, preset=args.preset,
+                                 seed=args.seed, priority=args.priority,
+                                 timeout_s=args.timeout)
+            print(f"proof: {len(envelope)} bytes")
+            if args.out:
+                with open(args.out, "wb") as fh:
+                    fh.write(envelope)
+                print(f"proof bundle written to {args.out}")
+            return 0
+        if args.action == "verify":
+            with open(args.bundle, "rb") as fh:
+                envelope = fh.read()
+            ok = svc.verify(envelope, circuit_id=args.workload or "",
+                            timeout_s=args.timeout)
+            if ok:
+                print("proof valid")
+                return 0
+            print("proof INVALID", file=sys.stderr)
+            return EXIT_VERIFICATION_ERROR
+        if args.action == "status":
+            print(json.dumps(svc.status(args.job_id), indent=2))
+            return 0
+        if args.action == "stats":
+            print(json.dumps(svc.stats(), indent=2))
+            return 0
+        if args.action == "shutdown":
+            svc.shutdown_server()
+            print("server draining")
+            return 0
+    raise AssertionError(f"unhandled client action {args.action!r}")
+
+
+#: One exit-code contract for every command, local or via the service.
+EXIT_CODE_TABLE = """\
+exit codes: 0 success | 1 generic failure | 2 usage error |
+3 configuration (ConfigError) | 4 malformed input (DeserializationError) |
+5 proof invalid (VerificationError) | 6 deadline expired
+(ProverTimeoutError).  `repro client` maps server-side errors onto the
+same codes."""
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from .snark.params import PRESETS
+
+    # Shared option vocabulary (one spelling everywhere): commands opt in
+    # to exactly the parents they support.
+    preset_p = argparse.ArgumentParser(add_help=False)
+    preset_p.add_argument("--preset", choices=sorted(PRESETS),
+                          default="test-fast",
+                          help="security preset (default %(default)s)")
+    workers_p = argparse.ArgumentParser(add_help=False)
+    workers_p.add_argument("--workers", type=int, default=None, metavar="N",
+                           help="fan prover kernels out across N worker "
+                                "processes (proof bytes are identical at "
+                                "any N)")
+    timeout_p = argparse.ArgumentParser(add_help=False)
+    timeout_p.add_argument("--timeout", type=float, default=None,
+                           metavar="SECS",
+                           help="cooperative proving deadline; on expiry "
+                                f"exit {EXIT_TIMEOUT} (ProverTimeoutError)")
+    telemetry_p = argparse.ArgumentParser(add_help=False)
+    telemetry_p.add_argument("--metrics-out", metavar="PATH", default=None,
+                             help="write counters/gauges/latency histograms "
+                                  "as OpenMetrics text")
+    telemetry_p.add_argument("--flight-log", metavar="PATH", default=None,
+                             help="append flight-recorder records to PATH "
+                                  "as JSON lines (read back with `repro "
+                                  "report --log PATH`)")
+    connect_p = argparse.ArgumentParser(add_help=False)
+    connect_p.add_argument("--connect", metavar="HOST:PORT",
+                           default="127.0.0.1:7464",
+                           help="service TCP address "
+                                "(default %(default)s)")
+    connect_p.add_argument("--unix-socket", metavar="PATH", default=None,
+                           help="connect over a unix socket instead of TCP")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NoCap (MICRO 2024) reproduction: hash-based ZKPs with "
                     "a co-designed accelerator model",
-        epilog="Input errors (malformed proofs, impossible configurations) "
-               "print a one-line message and exit with a distinct nonzero "
-               "code (config=3, deserialization=4, verification=5, "
-               "timeout=6); pass --strict to re-raise them with a full "
-               "traceback instead.")
+        epilog=EXIT_CODE_TABLE + "  Pass --strict to re-raise typed input "
+               "errors with a full traceback instead of the one-line "
+               "message.")
     parser.add_argument("--strict", action="store_true",
                         help="re-raise typed input errors with a traceback "
                              "instead of the one-line message")
@@ -520,23 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("sensitivity", help="print the Fig. 7 sweep"
                    ).set_defaults(func=_cmd_sensitivity)
 
-    from .snark.params import PRESETS
-
-    prove = sub.add_parser("prove", help="prove+verify a demo workload")
+    prove = sub.add_parser(
+        "prove", help="prove+verify a demo workload",
+        parents=[preset_p, workers_p, timeout_p, telemetry_p])
     prove.add_argument("workload", choices=_workload_choices())
-    prove.add_argument("--preset", choices=sorted(PRESETS),
-                       default="test-fast",
-                       help="security preset (default test-fast)")
     prove.add_argument("--out", metavar="PATH", default=None,
                        help="write the proof as a self-describing envelope "
                             "(verify it with `repro verify PATH`)")
-    prove.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="fan prover kernels out across N worker "
-                            "processes (proof bytes are identical at any N)")
-    prove.add_argument("--timeout", type=float, default=None, metavar="SECS",
-                       help="bound proving with a cooperative deadline; on "
-                            f"expiry the command exits {EXIT_TIMEOUT} "
-                            "(ProverTimeoutError)")
     prove.add_argument("--trace", action="store_true",
                        help="record prover phase spans and print the tree")
     prove.add_argument("--trace-out", metavar="PATH", default=None,
@@ -544,13 +634,6 @@ def build_parser() -> argparse.ArgumentParser:
                             "(implies --trace)")
     prove.add_argument("--metrics", action="store_true",
                        help="print kernel counters (hashes, butterflies, ...)")
-    prove.add_argument("--metrics-out", metavar="PATH", default=None,
-                       help="write counters/gauges/latency histograms as "
-                            "OpenMetrics text (Prometheus-scrapeable)")
-    prove.add_argument("--flight-log", metavar="PATH", default=None,
-                       help="append flight-recorder records (job reports, "
-                            "supervision events) to PATH as JSON lines; "
-                            "read them back with `repro report --log PATH`")
     prove.set_defaults(func=_cmd_prove)
 
     ver = sub.add_parser(
@@ -566,7 +649,8 @@ def build_parser() -> argparse.ArgumentParser:
     trace = sub.add_parser(
         "trace",
         help="prove under the tracer + simulate on NoCap, export Chrome "
-             "trace and per-phase breakdown")
+             "trace and per-phase breakdown",
+        parents=[preset_p, workers_p, timeout_p, telemetry_p])
     trace.add_argument("workload", choices=_workload_choices())
     trace.add_argument("--trace-out", metavar="PATH", default="trace.json",
                        help="Chrome trace-event JSON output path "
@@ -575,13 +659,81 @@ def build_parser() -> argparse.ArgumentParser:
                        default="BENCH_phases.json",
                        help="per-phase breakdown output path "
                             "(default BENCH_phases.json)")
-    trace.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="fan prover kernels out across N worker "
-                            "processes (workers appear as extra pids in "
-                            "the exported trace)")
     trace.add_argument("--metrics", action="store_true",
                        help="also print kernel counters")
     trace.set_defaults(func=_cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the proving service daemon (docs/SERVICE.md)",
+        parents=[preset_p, workers_p, timeout_p, telemetry_p])
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default %(default)s)")
+    serve.add_argument("--port", type=int, default=7464,
+                       help="TCP port; 0 picks a free one "
+                            "(default %(default)s)")
+    serve.add_argument("--unix-socket", metavar="PATH", default=None,
+                       help="listen on a unix socket instead of TCP")
+    serve.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                       help="bounded job-queue depth; submissions past it "
+                            "are rejected with the 429-style queue-full "
+                            "error (default %(default)s)")
+    serve.add_argument("--max-per-client", type=int, default=16, metavar="N",
+                       help="per-client fairness cap on queued jobs "
+                            "(default %(default)s)")
+    serve.add_argument("--job-slots", type=int, default=1, metavar="N",
+                       help="concurrent proving jobs; must stay 1 when "
+                            "--workers > 1 (default %(default)s)")
+    serve.add_argument("--key-cache-mb", type=int, default=256,
+                       metavar="MB",
+                       help="proving/verifying-key cache budget "
+                            "(default %(default)s)")
+    serve.add_argument("--proof-cache-mb", type=int, default=64,
+                       metavar="MB",
+                       help="content-addressed proof cache budget "
+                            "(default %(default)s)")
+    serve.set_defaults(func=_cmd_serve)
+
+    client = sub.add_parser(
+        "client",
+        help="submit work to a running `repro serve` daemon")
+    csub = client.add_subparsers(dest="action", required=True)
+    cprove = csub.add_parser(
+        "prove", help="prove a workload on the service",
+        parents=[connect_p, preset_p, timeout_p])
+    cprove.add_argument("workload", choices=_workload_choices())
+    cprove.add_argument("--seed", type=int, default=None,
+                        help="zk-mask seed (fixed seed => deterministic, "
+                             "cacheable proof bytes)")
+    cprove.add_argument("--priority", type=int, default=0,
+                        help="queue priority, lower runs sooner "
+                             "(default %(default)s)")
+    cprove.add_argument("--out", metavar="PATH", default=None,
+                        help="write the returned proof envelope "
+                             "(verify with `repro verify PATH`)")
+    cprove.set_defaults(func=_cmd_client)
+    cverify = csub.add_parser(
+        "verify", help="verify a proof envelope on the service",
+        parents=[connect_p, timeout_p])
+    cverify.add_argument("bundle", metavar="BUNDLE",
+                         help="path to a serialized proof envelope")
+    cverify.add_argument("--workload", choices=_workload_choices(),
+                         default=None,
+                         help="statement the proof claims (default: the "
+                              "circuit id embedded in the envelope)")
+    cverify.set_defaults(func=_cmd_client)
+    cstatus = csub.add_parser(
+        "status", help="query one job's state", parents=[connect_p])
+    cstatus.add_argument("job_id", metavar="JOB_ID")
+    cstatus.set_defaults(func=_cmd_client)
+    cstats = csub.add_parser(
+        "stats", help="dump service queue/cache/job statistics",
+        parents=[connect_p])
+    cstats.set_defaults(func=_cmd_client)
+    cshutdown = csub.add_parser(
+        "shutdown", help="ask the daemon to drain and exit",
+        parents=[connect_p])
+    cshutdown.set_defaults(func=_cmd_client)
 
     doctor = sub.add_parser(
         "doctor",
@@ -622,6 +774,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         DeserializationError,
         ProverTimeoutError,
         ReproError,
+        TranscriptError,
         VerificationError,
     )
 
@@ -633,7 +786,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     except ReproError as exc:
         # User-input errors get a one-line message and a distinct exit
-        # code, not a traceback (unless --strict asks for one).
+        # code, not a traceback (unless --strict asks for one).  The
+        # mapping is the same whether the error was raised locally or
+        # relayed from a `repro serve` daemon by `repro client`.
         if args.strict:
             raise
         if isinstance(exc, ConfigError):
@@ -642,8 +797,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             code = EXIT_DESERIALIZATION_ERROR
         elif isinstance(exc, ProverTimeoutError):
             code = EXIT_TIMEOUT
-        else:
+        elif isinstance(exc, (VerificationError, TranscriptError)):
             code = EXIT_VERIFICATION_ERROR
+        else:
+            # Service/transport errors (queue full, server unreachable):
+            # transient operational failures, not input errors.
+            code = 1
         print(f"error ({type(exc).__name__}): {exc}", file=sys.stderr)
         return code
 

@@ -1,0 +1,202 @@
+"""Service caches: proving/verifying keys and content-addressed proofs.
+
+Two caches keep the daemon hot across requests:
+
+* :class:`KeyCache` — one entry per ``(circuit_id, preset)``: the
+  compiled circuit's keys plus its demo assignment, built once via
+  :func:`repro.snark.setup` and reused by every subsequent job on that
+  statement.  Keygen is the part of a request that cannot be
+  parallelized away, so amortizing it is where a persistent service
+  beats a fresh CLI process.
+
+* :class:`ProofCache` — content-addressed envelopes: requests are keyed
+  by ``sha256(preset | circuit | public inputs | seed)``
+  (:func:`proof_cache_key`), and a hit returns the *byte-identical*
+  NCPE envelope of the earlier proof without touching the prover.
+  Deterministic proving (fixed seed ⇒ fixed bytes, PR 4) is what makes
+  this sound: same key ⇒ same statement and randomness ⇒ same proof.
+  Unseeded requests hash the seed's absence, so they also dedup against
+  each other (the first proof's bytes serve every repeat), while
+  distinct explicit seeds keep distinct entries.
+
+Both are LRU-bounded **by bytes**, not entry count, because one
+paper-preset key dwarfs a hundred test-preset envelopes.  Hit/miss/
+eviction counters and byte gauges land in the metrics registry under
+``service.pk_cache.*`` / ``service.proof_cache.*``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from ..obs.metrics import METRICS as _METRICS
+
+#: Default byte budgets (overridable via ServiceConfig / CLI flags).
+DEFAULT_KEY_CACHE_BYTES = 256 * 1024 * 1024
+DEFAULT_PROOF_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class LRUBytesCache:
+    """An LRU map bounded by the summed byte size of its values.
+
+    ``get`` refreshes recency; ``put`` evicts least-recently-used
+    entries until the new value fits.  A value larger than the whole
+    budget is simply not cached (callers still hold the object they
+    built).  Counters are mirrored into METRICS under
+    ``service.<label>.hits/misses/evictions`` with a
+    ``service.<label>.bytes`` gauge.
+    """
+
+    def __init__(self, max_bytes: int, label: str):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self.label = label
+        self._entries: "OrderedDict[Any, Tuple[Any, int]]" = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            _METRICS.inc(f"service.{self.label}.misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        _METRICS.inc(f"service.{self.label}.hits")
+        return entry[0]
+
+    def peek(self, key: Any) -> Optional[Any]:
+        """Like :meth:`get` but without touching the hit/miss counters —
+        for probe paths whose miss falls through to a counted lookup."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: Any, value: Any, size_bytes: int) -> None:
+        size_bytes = int(size_bytes)
+        if size_bytes > self.max_bytes:
+            return  # would evict everything and still not fit
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= old[1]
+        while self._entries and self.bytes + size_bytes > self.max_bytes:
+            _k, (_v, sz) = self._entries.popitem(last=False)
+            self.bytes -= sz
+            self.evictions += 1
+            _METRICS.inc(f"service.{self.label}.evictions")
+        self._entries[key] = (value, size_bytes)
+        self.bytes += size_bytes
+        _METRICS.gauge(f"service.{self.label}.bytes", self.bytes)
+        _METRICS.gauge(f"service.{self.label}.entries", len(self._entries))
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class KeyEntry:
+    """One compiled statement: keys plus the demo assignment."""
+
+    pk: Any                  # ProvingKey
+    vk: Any                  # VerifyingKey
+    public: np.ndarray       # the workload's canonical public inputs
+    witness: np.ndarray      # the workload's canonical witness
+
+
+class KeyCache:
+    """``(circuit_id, preset_name)`` → :class:`KeyEntry`, LRU by bytes.
+
+    Entry size is estimated by pickling the proving key — the dominant
+    object, and exactly what :func:`repro.snark.prove_many` ships to
+    workers, so the estimate matches real broadcast cost.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_KEY_CACHE_BYTES):
+        self._lru = LRUBytesCache(max_bytes, "pk_cache")
+
+    def get_or_build(self, circuit_id: str, preset_name: str) -> KeyEntry:
+        """The cached entry, or build-compile-setup-insert on miss.
+
+        Raises :class:`~repro.errors.ConfigError` for unknown circuit
+        ids or presets — the caller maps that to a 400.
+        """
+        from ..snark import preset_by_name, setup
+        from ..workloads.registry import build_workload
+
+        key = (circuit_id, preset_name)
+        entry = self._lru.get(key)
+        if entry is not None:
+            return entry
+        name, circuit = build_workload(circuit_id)
+        preset = preset_by_name(preset_name)
+        r1cs, public, witness = circuit.compile()
+        pk, vk = setup(r1cs, preset)
+        entry = KeyEntry(pk=pk, vk=vk,
+                         public=np.asarray(public, dtype=np.uint64),
+                         witness=np.asarray(witness, dtype=np.uint64))
+        size = len(pickle.dumps(pk)) + public.nbytes + witness.nbytes
+        self._lru.put(key, entry, size)
+        return entry
+
+    def stats(self) -> dict:
+        return self._lru.stats()
+
+
+def proof_cache_key(preset_name: str, circuit_id: str, public: np.ndarray,
+                    seed: Optional[int]) -> str:
+    """Content address of a prove request: sha256 over the statement and
+    the randomness choice.
+
+    The seed participates because proof bytes depend on it: two requests
+    collide only when they would provably produce identical envelopes.
+    ``seed=None`` hashes as its own marker, so unseeded requests dedup
+    against each other (the first proof's bytes are what every repeat
+    gets back) but never against an explicitly seeded one.
+    """
+    h = hashlib.sha256()
+    h.update(b"ncpe-proof-v1\0")
+    h.update(preset_name.encode("utf-8") + b"\0")
+    h.update(circuit_id.encode("utf-8") + b"\0")
+    h.update(b"none" if seed is None else str(int(seed)).encode("ascii"))
+    h.update(b"\0")
+    h.update(np.ascontiguousarray(
+        np.asarray(public, dtype=np.uint64)).tobytes())
+    return h.hexdigest()
+
+
+class ProofCache:
+    """Content-addressed envelope store: hex digest → NCPE bytes."""
+
+    def __init__(self, max_bytes: int = DEFAULT_PROOF_CACHE_BYTES):
+        self._lru = LRUBytesCache(max_bytes, "proof_cache")
+
+    def get(self, key: str) -> Optional[bytes]:
+        return self._lru.get(key)
+
+    def put(self, key: str, envelope: bytes) -> None:
+        self._lru.put(key, envelope, len(envelope))
+
+    def stats(self) -> dict:
+        return self._lru.stats()

@@ -3,18 +3,16 @@
 Lifecycle entry points: :func:`setup` -> (:class:`ProvingKey`,
 :class:`VerifyingKey`), :func:`prove` -> :class:`ProofBundle`,
 :func:`verify`; :func:`prove_many` batches independent jobs across a
-:class:`~repro.parallel.ProverPool`.  ``Snark`` / ``prove_and_verify``
-are deprecated shims over the same machinery.
+:class:`~repro.parallel.ProverPool`.  All of these are also re-exported
+at the top level (``from repro import setup, prove, verify``).
 """
 
 from .api import (
     JobResult,
     ProofBundle,
     ProvingKey,
-    Snark,
     VerifyingKey,
     prove,
-    prove_and_verify,
     prove_many,
     setup,
     verify,
@@ -31,8 +29,6 @@ __all__ = [
     "prove",
     "prove_many",
     "verify",
-    "Snark",
-    "prove_and_verify",
     "PAPER",
     "TEST",
     "PRESETS",

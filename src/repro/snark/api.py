@@ -26,28 +26,27 @@ the commit-side kernels out across processes, or :func:`prove_many` to
 run independent proof jobs in parallel.  Proof bytes are bit-identical
 at any worker count.
 
-The pre-split :class:`Snark` facade and :func:`prove_and_verify` remain
-as thin deprecation shims.
+A long-running process serves this API over a socket via
+:mod:`repro.service` (``repro serve``), which keeps keys and a warm
+worker pool resident across requests.
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from .. import obs
-from ..errors import ProverTimeoutError, ReproError, VerificationError
+from ..errors import ProverTimeoutError, ReproError
 from ..hashing.transcript import Transcript
 from ..obs import JobReport
 from ..obs import span as _span
 from ..obs.events import FLIGHT as _FLIGHT
 from ..obs.metrics import METRICS as _METRICS
 from ..parallel.deadline import deadline_scope
-from ..r1cs.builder import Circuit
 from ..r1cs.system import R1CS
 from ..spartan.protocol import SpartanProof, SpartanProver, SpartanVerifier
 from .params import TEST, SecurityPreset
@@ -247,11 +246,18 @@ class JobResult:
     Exactly one of ``bundle`` (``ok=True``) and ``error`` (``ok=False``)
     is set; ``error`` is the typed exception the job ended with after
     every recovery path (retry, serial degradation) was exhausted.
+
+    ``report`` is the per-job :class:`~repro.obs.events.JobReport`:
+    failed jobs always carry one (also recorded to the flight recorder,
+    so structured errors survive the batch — what the proving service
+    returns to clients); successful jobs carry the batch report when the
+    call passed ``attach_report=True``.
     """
 
     ok: bool
     bundle: Optional[ProofBundle] = None
     error: Optional[BaseException] = None
+    report: Optional[JobReport] = None
 
 
 def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
@@ -304,7 +310,11 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
     sequence numbers, not absolute counter values, so back-to-back
     batches in one process never inherit each other's degradation or
     retry counts.  ``attach_report=True`` hangs that batch report off
-    every returned bundle.
+    every returned bundle.  Under ``on_error="return"`` every *failed*
+    job additionally records — and carries, via
+    :attr:`JobResult.report` — its own per-job report naming the typed
+    error, so partial results stay structured (the proving service
+    relays exactly these to clients).
     """
     if on_error not in ("raise", "return"):
         raise ValueError(f"on_error must be 'raise' or 'return', "
@@ -345,6 +355,19 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
             ok=not error, error=error,
             events=_FLIGHT.fault_deltas(seq0))
 
+    def _fail(exc: BaseException, pool, duration_s: float = 0.0) -> JobResult:
+        """A failed job's result, with its own flight-recorder report —
+        the structured error a caller (or the proving service) can
+        surface without re-deriving what went wrong."""
+        report = JobReport(
+            job_id=_FLIGHT.next_job_id(), op="prove",
+            preset=pk.preset.name, circuit_id=circuit_id,
+            workers=getattr(pool, "workers", 1),
+            dispatch=_dispatch_mode(pool), jobs=1, duration_s=duration_s,
+            ok=False, error=type(exc).__name__)
+        _FLIGHT.record_job(report)
+        return JobResult(ok=False, error=exc, report=report)
+
     def _finish(outcomes, pool):
         report = _batch_report(outcomes, pool)
         _FLIGHT.record_job(report)
@@ -362,6 +385,8 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
                 bundle = out.bundle if isinstance(out, JobResult) else out
                 if bundle is not None:
                     bundle.report = report
+                if isinstance(out, JobResult) and out.report is None:
+                    out.report = report
         return results
 
     explicit_serial = (pool is None and workers is not None and workers <= 1)
@@ -376,12 +401,14 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
             with _span("snark.prove_many", "other", jobs=len(jobs),
                        workers=1):
                 for j in range(len(jobs)):
+                    tj = time.perf_counter()
                     try:
                         outcomes.append(_serial_job(j))
                     except Exception as exc:  # noqa: BLE001 - per-job
                         if on_error == "raise":
                             raise
-                        outcomes.append(JobResult(ok=False, error=exc))
+                        outcomes.append(_fail(
+                            exc, None, time.perf_counter() - tj))
             return _finish(outcomes, None)
     except BaseException as exc:
         _FLIGHT.record_job(_batch_report([], None,
@@ -390,7 +417,8 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
     try:
         return _prove_many_pooled(pk, pool, jobs, seeds, pubs, wits,
                                   circuit_id, timeout_s, on_error,
-                                  _serial_job, _finish, METRICS, kernels)
+                                  _serial_job, _finish, _fail, METRICS,
+                                  kernels)
     except BaseException as exc:
         _FLIGHT.record_job(_batch_report([], pool,
                                          error=type(exc).__name__))
@@ -398,7 +426,7 @@ def prove_many(pk: ProvingKey, jobs: Sequence[Tuple[np.ndarray, np.ndarray]],
 
 
 def _prove_many_pooled(pk, pool, jobs, seeds, pubs, wits, circuit_id,
-                       timeout_s, on_error, _serial_job, _finish,
+                       timeout_s, on_error, _serial_job, _finish, _fail,
                        METRICS, kernels):
     """The fan-out body of :func:`prove_many` (split for readability)."""
     with _span("snark.prove_many", "other", jobs=len(jobs),
@@ -436,7 +464,7 @@ def _prove_many_pooled(pk, pool, jobs, seeds, pubs, wits, circuit_id,
                 # A spent budget is final: no retry can honor it.
                 if on_error == "raise":
                     raise blob
-                outcomes.append(JobResult(ok=False, error=blob))
+                outcomes.append(_fail(blob, pool))
                 continue
             # Worker-side failure: recover serially in the parent, which
             # holds the pristine pk (immune to broadcast corruption).
@@ -444,12 +472,14 @@ def _prove_many_pooled(pk, pool, jobs, seeds, pubs, wits, circuit_id,
             # re-broadcasts a clean blob instead of replaying the damage.
             pool.drop_broadcast(pk)
             pool._degraded("prove_job", blob)
+            tj = time.perf_counter()
             try:
                 outcomes.append(_serial_job(j))
             except Exception as exc:  # noqa: BLE001 - per-job contract
                 if on_error == "raise":
                     raise
-                outcomes.append(JobResult(ok=False, error=exc))
+                outcomes.append(_fail(exc, pool,
+                                      time.perf_counter() - tj))
     return _finish(outcomes, pool)
 
 
@@ -485,66 +515,3 @@ def _verify_parts(vk: VerifyingKey, public, proof) -> bool:
         _METRICS.observe("verify_seconds", time.perf_counter() - t0)
 
 
-# ---------------------------------------------------------------------------
-# Deprecated pre-lifecycle facade
-# ---------------------------------------------------------------------------
-
-class Snark:
-    """Deprecated prover/verifier pair; use :func:`setup` / :func:`prove` /
-    :func:`verify` instead (a verifier should not construct a prover)."""
-
-    def __init__(self, r1cs: R1CS, preset: SecurityPreset = TEST,
-                 rng: Optional[np.random.Generator] = None):
-        warnings.warn(
-            "Snark is deprecated: use setup(r1cs, preset) -> (pk, vk) with "
-            "prove(pk, ...) / verify(vk, ...) (see docs/API.md)",
-            DeprecationWarning, stacklevel=2)
-        self.r1cs = r1cs
-        self.preset = preset
-        self._pk, self._vk = setup(r1cs, preset)
-        self._rng = rng if rng is not None else np.random.default_rng()
-        self._public: Optional[np.ndarray] = None
-        self._witness: Optional[np.ndarray] = None
-
-    @classmethod
-    def from_circuit(cls, circuit: Circuit, preset: SecurityPreset = TEST,
-                     rng: Optional[np.random.Generator] = None) -> "Snark":
-        """Compile a circuit and remember its assignment for :meth:`prove`."""
-        r1cs, public, witness = circuit.compile()
-        snark = cls(r1cs, preset, rng)
-        snark._public = public
-        snark._witness = witness
-        return snark
-
-    def prove(self, public: Optional[np.ndarray] = None,
-              witness: Optional[np.ndarray] = None) -> ProofBundle:
-        """Generate a proof; defaults to the assignment captured at
-        :meth:`from_circuit` time."""
-        public = public if public is not None else self._public
-        witness = witness if witness is not None else self._witness
-        if public is None or witness is None:
-            raise ValueError("no assignment: pass public and witness explicitly")
-        return prove(self._pk, public, witness, rng=self._rng)
-
-    def verify(self, bundle: ProofBundle) -> bool:
-        if not isinstance(bundle, ProofBundle):
-            return False
-        return self.verify_raw(bundle.public, bundle.proof)
-
-    def verify_raw(self, public: np.ndarray, proof: SpartanProof) -> bool:
-        return _verify_parts(self._vk, public, proof)
-
-
-def prove_and_verify(circuit: Circuit,
-                     preset: SecurityPreset = TEST) -> ProofBundle:
-    """Deprecated one-shot helper: prove then self-check."""
-    warnings.warn(
-        "prove_and_verify is deprecated: use setup()/prove()/verify() "
-        "(see docs/API.md)", DeprecationWarning, stacklevel=2)
-    r1cs, public, witness = circuit.compile()
-    pk, vk = setup(r1cs, preset)
-    bundle = prove(pk, public, witness)
-    if not verify(vk, bundle):
-        raise VerificationError(
-            "freshly generated proof failed verification")
-    return bundle

@@ -1,0 +1,83 @@
+"""Named demo-workload circuit registry.
+
+One canonical mapping from a circuit id (the label carried in proof
+envelopes and service requests) to a builder producing the demo circuit
+at CLI-scale parameters.  Both the command line (``repro prove sha``)
+and the proving service (``repro serve``) resolve circuit ids here, so a
+bundle proved by one is verifiable by the other.
+
+Builders are lazy (imported on first use) and the compiled artifacts are
+cheap enough to rebuild; persistent processes cache the *keys* built
+from them (:mod:`repro.service.cache`), not the circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..errors import ConfigError
+
+#: Circuit-id -> zero-argument builder returning the demo circuit.
+_BUILDERS: Dict[str, Callable] = {}
+
+#: Paper-name spellings accepted anywhere a circuit id is (CLI, service).
+ALIASES = {"sha256": "sha", "aes128": "aes"}
+
+
+def _register(name: str):
+    def deco(fn):
+        _BUILDERS[name] = fn
+        return fn
+    return deco
+
+
+@_register("aes")
+def _aes():
+    from .aes import aes_demo_circuit
+    return aes_demo_circuit(num_blocks=1, num_rounds=2)[0]
+
+
+@_register("sha")
+def _sha():
+    from .sha import sha_demo_circuit
+    return sha_demo_circuit(num_blocks=1, num_rounds=8)[0]
+
+
+@_register("rsa")
+def _rsa():
+    from .rsa import rsa_demo_circuit
+    return rsa_demo_circuit(num_messages=1, modulus_bits=64, exponent=17)[0]
+
+
+@_register("litmus")
+def _litmus():
+    from .litmus import litmus_demo_circuit
+    return litmus_demo_circuit(num_transactions=6, num_rows=8)[0]
+
+
+@_register("auction")
+def _auction():
+    from .auction import auction_demo_circuit
+    return auction_demo_circuit(num_bids=12, bid_bits=16)[0]
+
+
+def workload_choices() -> List[str]:
+    """Every accepted circuit id, canonical names and aliases, sorted."""
+    return sorted(list(_BUILDERS) + list(ALIASES))
+
+
+def resolve_workload(name: str) -> str:
+    """Canonical circuit id for ``name`` (aliases folded), or
+    :class:`~repro.errors.ConfigError` for unknown ids."""
+    resolved = ALIASES.get(name, name)
+    if resolved not in _BUILDERS:
+        raise ConfigError(
+            f"unknown circuit id {name!r}; known workloads: "
+            f"{', '.join(workload_choices())}")
+    return resolved
+
+
+def build_workload(name: str) -> Tuple[str, object]:
+    """Build the demo circuit for ``name``; returns (canonical id, circuit)."""
+    resolved = resolve_workload(name)
+    return resolved, _BUILDERS[resolved]()

@@ -1,5 +1,5 @@
 """Tests for the keygen/prove/verify lifecycle, the proof envelope, and
-the deprecated ``Snark`` facade shims."""
+the canonical top-level import surface."""
 
 import numpy as np
 import pytest
@@ -12,13 +12,11 @@ from repro.snark import (
     TEST,
     ProofBundle,
     ProvingKey,
-    Snark,
     VerifyingKey,
     preset_by_name,
     proof_from_bytes,
     proof_to_bytes,
     prove,
-    prove_and_verify,
     setup,
     verify,
 )
@@ -248,44 +246,31 @@ class TestSerialization:
                 < 2 * bundle.proof.size_bytes() + 256)
 
 
-class TestDeprecatedShims:
-    def test_snark_warns(self, compiled):
-        r1cs, _, _ = compiled
-        with pytest.warns(DeprecationWarning, match="setup"):
-            Snark(r1cs, TEST)
+class TestCanonicalSurface:
+    """The post-shim API contract: one import surface, no leftovers."""
 
-    def test_prove_and_verify_warns_and_works(self):
-        with pytest.warns(DeprecationWarning):
-            b = prove_and_verify(_circuit())
-        assert b.size_bytes() > 0
+    def test_top_level_reexports(self):
+        import repro
 
-    def test_from_circuit_captures_assignment(self):
-        with pytest.warns(DeprecationWarning):
-            snark = Snark.from_circuit(_circuit())
-        bundle = snark.prove()
-        assert snark.verify(bundle)
+        for name in ("setup", "prove", "prove_many", "verify",
+                     "ProvingKey", "VerifyingKey", "ProofBundle",
+                     "JobResult", "TEST", "PAPER", "ServiceClient"):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
 
-    def test_explicit_assignment(self, compiled):
-        r1cs, pub, wit = compiled
-        with pytest.warns(DeprecationWarning):
-            snark = Snark(r1cs, TEST)
-        bundle = snark.prove(pub, wit)
-        assert snark.verify(bundle)
-        assert snark.verify_raw(bundle.public, bundle.proof)
+    def test_deprecated_facade_removed(self):
+        import repro
+        import repro.snark
 
-    def test_missing_assignment_raises(self, compiled):
-        r1cs, _, _ = compiled
-        with pytest.warns(DeprecationWarning):
-            snark = Snark(r1cs, TEST)
-        with pytest.raises(ValueError):
-            snark.prove()
+        for mod in (repro, repro.snark):
+            assert not hasattr(mod, "Snark")
+            assert not hasattr(mod, "prove_and_verify")
 
-    def test_shim_agrees_with_lifecycle(self, compiled, keys):
-        r1cs, pub, wit = compiled
-        _, vk = keys
-        with pytest.warns(DeprecationWarning):
-            snark = Snark(r1cs, TEST, rng=np.random.default_rng(11))
-        shim_bundle = snark.prove(pub, wit)
-        assert verify(vk, ProofBundle(proof=shim_bundle.proof,
-                                      public=shim_bundle.public,
-                                      preset_name=TEST.name))
+    def test_top_level_matches_snark(self):
+        import repro
+        import repro.snark
+
+        assert repro.setup is repro.snark.setup
+        assert repro.prove is repro.snark.prove
+        assert repro.verify is repro.snark.verify
+        assert repro.prove_many is repro.snark.prove_many

@@ -40,7 +40,15 @@ from repro.fuzz.mutate import (
     structured_mutants,
 )
 from repro.r1cs import Circuit
-from repro.snark import Snark, TEST, proof_from_bytes, proof_to_bytes
+from repro.snark import (
+    TEST,
+    ProofBundle,
+    proof_from_bytes,
+    proof_to_bytes,
+    prove,
+    setup,
+    verify,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -90,7 +98,7 @@ CIRCUITS = {
 # Classification
 # ---------------------------------------------------------------------------
 
-def classify(snark: Snark, public, mutant: Mutant, tally: dict,
+def classify(vk, public, mutant: Mutant, tally: dict,
              failures: list) -> None:
     """Run one mutant through parse + verify, enforcing the trichotomy."""
     bucket = tally.setdefault(mutant.mutator, {
@@ -107,7 +115,7 @@ def classify(snark: Snark, public, mutant: Mutant, tally: dict,
                          "exception": type(exc).__name__, "message": str(exc)})
         return
     try:
-        ok = snark.verify_raw(public, proof)
+        ok = verify(vk, ProofBundle(proof=proof, public=public))
     except Exception as exc:  # noqa: BLE001
         bucket["crashed"] += 1
         failures.append({"mutator": mutant.mutator, "stage": "verify",
@@ -155,33 +163,34 @@ def main(argv=None) -> int:
         # Seed the zk-mask generator from --seed too: the recorded seed
         # then reproduces the *entire* run — baseline proof bytes
         # included — not just the mutation choices.
-        snark = Snark.from_circuit(
-            build(), preset=TEST,
-            rng=np.random.default_rng(
-                np.random.SeedSequence([args.seed, idx])))
-        bundle = snark.prove()
+        r1cs, public, witness = build().compile()
+        pk, vk = setup(r1cs, TEST)
+        bundle = prove(pk, public, witness,
+                       rng=np.random.default_rng(
+                           np.random.SeedSequence([args.seed, idx])))
         data = proof_to_bytes(bundle.proof)
         # Baseline sanity: the honest proof must verify, including after a
         # serialization round trip, or mutant rejections mean nothing.
-        if not snark.verify(bundle):
+        if not verify(vk, bundle):
             print(f"FATAL: honest proof for {name!r} failed verification")
             return 2
-        if not snark.verify_raw(bundle.public, proof_from_bytes(data)):
+        if not verify(vk, ProofBundle(proof=proof_from_bytes(data),
+                                      public=bundle.public)):
             print(f"FATAL: round-tripped proof for {name!r} failed")
             return 2
-        targets[name] = (snark, bundle.public, data)
+        targets[name] = (vk, bundle.public, data)
         print(f"  {name}: {len(data)} bytes")
 
     tally: dict = {}
     failures: list = []
     total = 0
 
-    for name, (snark, public, data) in targets.items():
+    for name, (vk, public, data) in targets.items():
         mutants = structured_mutants(data, rng)
         mutants += random_mutants(data, rng, args.random_mutants)
         mutants += garbage_corpus(rng)
         for m in mutants:
-            classify(snark, public, m, tally, failures)
+            classify(vk, public, m, tally, failures)
         total += len(mutants)
         print(f"  {name}: {len(mutants)} mutants")
 
@@ -189,10 +198,10 @@ def main(argv=None) -> int:
     names = list(targets)
     for i, na in enumerate(names):
         for nb in names[i + 1:]:
-            sa, pa, da = targets[na]
+            vka, pa, da = targets[na]
             _, _, db = targets[nb]
             for m in splice_mutants(da, db, rng):
-                classify(sa, pa, m, tally, failures)
+                classify(vka, pa, m, tally, failures)
                 total += 1
 
     # Cross-circuit verification: an honest proof of statement A must not
@@ -204,9 +213,9 @@ def main(argv=None) -> int:
         for nb in names:
             if na == nb:
                 continue
-            sb, pb, _ = targets[nb]
+            vkb, pb, _ = targets[nb]
             _, _, da = targets[na]
-            classify(sb, pb, Mutant("cross_verify", da), tally, failures)
+            classify(vkb, pb, Mutant("cross_verify", da), tally, failures)
             total += 1
     del cross  # populated via classify
 
@@ -214,10 +223,10 @@ def main(argv=None) -> int:
     api = tally.setdefault("api_type_confusion", {
         "parse_rejected": 0, "verify_rejected": 0,
         "accepted": 0, "crashed": 0})
-    snark0, public0, _ = targets["cubic"]
+    vk0, public0, _ = targets["cubic"]
     for bogus in (None, 42, b"bytes", "proof", [1, 2], object()):
         try:
-            if snark0.verify(bogus):
+            if verify(vk0, bogus):
                 api["accepted"] += 1
                 failures.append({"mutator": "api_type_confusion",
                                  "stage": "verify", "exception": None,
